@@ -1,0 +1,42 @@
+// Scheme ablation (SecIII-B): Epidemic vs Interest-Based vs Spray-and-Wait
+// vs Direct Delivery on the identical Gainesville workload and mobility.
+// Shows the trade the routing manager's modularity is for: epidemic
+// maximizes delivery at maximal overhead, IB matches it closely while only
+// touching interested nodes, direct is the 1-hop floor.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "deploy/report.hpp"
+#include "deploy/scenario.hpp"
+#include "util/time.hpp"
+
+using namespace sos;
+
+int main() {
+  deploy::print_heading("Scheme ablation: identical workload, four routing schemes");
+
+  deploy::Table t({"scheme", "deliveries", "delivery ratio", "median delay", "P[<=24h]",
+                   "1-hop share", "bundles sent", "wire MB", "connections"});
+
+  for (const std::string& scheme : {"epidemic", "interest", "spray", "direct"}) {
+    auto config = deploy::gainesville_config(scheme);
+    auto result = deploy::run_scenario(config);
+    const auto& oracle = result.oracle;
+    auto delays = oracle.delay_cdf(false);
+    t.add_row({scheme, std::to_string(oracle.delivery_count()),
+               deploy::fmt(oracle.overall_delivery_ratio(), 3),
+               util::format_duration(delays.quantile(0.5)),
+               deploy::fmt(delays.at(util::hours(24)), 3),
+               deploy::fmt(oracle.one_hop_fraction(), 3),
+               std::to_string(result.totals.bundles_sent),
+               deploy::fmt(static_cast<double>(result.wire_bytes) / 1e6, 2),
+               std::to_string(result.connections)});
+  }
+  t.print();
+
+  std::printf("expected ordering: epidemic >= interest > spray > direct on delivery;\n"
+              "direct has the lowest overhead and a 1-hop share of 1.0 by construction;\n"
+              "epidemic pays for its delivery edge with the most transmissions.\n");
+  return 0;
+}

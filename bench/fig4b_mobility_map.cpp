@@ -1,0 +1,37 @@
+// Fig 4b — the activity map of the deployment: where messages were created
+// (blue in the paper) and where they were passed user-to-user (red).
+// Renders both as ASCII heat maps over the ~11 km x 8 km study area and
+// prints coverage statistics.
+#include <cstdio>
+
+#include "deploy/report.hpp"
+#include "deploy/scenario.hpp"
+
+using namespace sos;
+
+int main() {
+  deploy::print_heading("Fig 4b: message generation & dissemination map (~11km x 8km)");
+
+  auto config = deploy::gainesville_config("interest");
+  auto result = deploy::run_scenario(config);
+  const auto& oracle = result.oracle;
+
+  const std::size_t nx = 64, ny = 24;
+  auto blue = oracle.creation_map(config.area_w_m, config.area_h_m, nx, ny);
+  auto red = oracle.dissemination_map(config.area_w_m, config.area_h_m, nx, ny);
+
+  std::printf("message generation (paper: blue), %llu events:\n%s\n",
+              static_cast<unsigned long long>(blue.total()), blue.render().c_str());
+  std::printf("message dissemination (paper: red), %llu events:\n%s\n",
+              static_cast<unsigned long long>(red.total()), red.render().c_str());
+
+  deploy::Table t({"statistic", "generation", "dissemination"});
+  t.add_row({"events", std::to_string(blue.total()), std::to_string(red.total())});
+  t.add_row({"cell occupancy", deploy::fmt(blue.occupancy(), 3), deploy::fmt(red.occupancy(), 3)});
+  t.print();
+
+  std::printf("expected shape: generation is scattered (posting happens at homes all\n"
+              "over the city); dissemination clusters at the shared gathering places\n"
+              "where D2D encounters occur — matching the paper's blue-vs-red contrast.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Crypto substrate microbenchmarks: the primitives every D2D session and
+// bundle transfer pays for (hashing, AEAD, DH, signatures).
+#include <benchmark/benchmark.h>
+
+#include "crypto/aead.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/hkdf.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "crypto/x25519.hpp"
+#include "util/bytes.hpp"
+
+using namespace sos;
+
+namespace {
+util::Bytes make_data(std::size_t n) {
+  crypto::Drbg d(util::to_bytes("bench-data"));
+  return d.generate(n);
+}
+}  // namespace
+
+static void BM_Sha256(benchmark::State& state) {
+  auto data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+static void BM_Sha512(benchmark::State& state) {
+  auto data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::Sha512::hash(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(1024)->Arg(65536);
+
+static void BM_AeadSeal(benchmark::State& state) {
+  auto data = make_data(static_cast<std::size_t>(state.range(0)));
+  std::uint8_t key[32] = {1}, nonce[12] = {2};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crypto::aead_seal(key, nonce, util::to_bytes("aad"), data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(64)->Arg(1024)->Arg(65536);
+
+static void BM_AeadOpen(benchmark::State& state) {
+  auto data = make_data(static_cast<std::size_t>(state.range(0)));
+  std::uint8_t key[32] = {1}, nonce[12] = {2};
+  auto sealed = crypto::aead_seal(key, nonce, util::to_bytes("aad"), data);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crypto::aead_open(key, nonce, util::to_bytes("aad"), sealed));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadOpen)->Arg(1024)->Arg(65536);
+
+static void BM_X25519SharedSecret(benchmark::State& state) {
+  crypto::Drbg d(util::to_bytes("x"));
+  auto a = crypto::x25519_clamp(d.generate_array<32>());
+  auto b_pub = crypto::x25519_base(crypto::x25519_clamp(d.generate_array<32>()));
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::x25519(a, b_pub));
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+static void BM_Ed25519Keygen(benchmark::State& state) {
+  crypto::Drbg d(util::to_bytes("kg"));
+  auto seed = d.generate_array<32>();
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::Ed25519Keypair::from_seed(seed));
+}
+BENCHMARK(BM_Ed25519Keygen);
+
+static void BM_Ed25519Sign(benchmark::State& state) {
+  crypto::Drbg d(util::to_bytes("sig"));
+  auto kp = crypto::Ed25519Keypair::from_seed(d.generate_array<32>());
+  auto msg = make_data(256);
+  for (auto _ : state) benchmark::DoNotOptimize(kp.sign(msg));
+}
+BENCHMARK(BM_Ed25519Sign);
+
+static void BM_Ed25519Verify(benchmark::State& state) {
+  crypto::Drbg d(util::to_bytes("ver"));
+  auto kp = crypto::Ed25519Keypair::from_seed(d.generate_array<32>());
+  auto msg = make_data(256);
+  auto sig = kp.sign(msg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crypto::ed25519_verify(kp.public_key(), msg, sig));
+}
+BENCHMARK(BM_Ed25519Verify);
+
+static void BM_Hkdf(benchmark::State& state) {
+  auto ikm = make_data(32);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        crypto::hkdf(util::to_bytes("salt"), ikm, util::to_bytes("info"), 64));
+}
+BENCHMARK(BM_Hkdf);
+
+BENCHMARK_MAIN();

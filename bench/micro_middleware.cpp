@@ -1,0 +1,107 @@
+// Middleware microbenchmarks: the per-encounter costs — the Fig 2a signup
+// flow, the session handshake over the simulated radio, end-to-end bundle
+// verification, store queries, and wire codec round trips.
+#include <benchmark/benchmark.h>
+
+#include "bundle/store.hpp"
+#include "crypto/drbg.hpp"
+#include "mw/sos_node.hpp"
+#include "pki/bootstrap.hpp"
+#include "sim/multipeer.hpp"
+
+using namespace sos;
+
+static void BM_SignupFlow(benchmark::State& state) {
+  // Full Fig 2a bootstrap: device keygen + CSR + cloud validation + CA issue.
+  int i = 0;
+  pki::BootstrapService infra(util::to_bytes("bench-infra"));
+  for (auto _ : state) {
+    crypto::Drbg device(util::to_bytes("d" + std::to_string(i)));
+    benchmark::DoNotOptimize(infra.signup("user-bench-" + std::to_string(i), device, 0.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_SignupFlow);
+
+static void BM_SessionHandshake(benchmark::State& state) {
+  // Two nodes: connect + cert exchange + ECDH + key schedule, repeatedly.
+  pki::BootstrapService infra(util::to_bytes("hs-infra"));
+  crypto::Drbg d0(util::to_bytes("hs-0")), d1(util::to_bytes("hs-1"));
+  sim::Scheduler sched;
+  sim::MpcNetwork net(sched, 2);
+  mw::SosConfig config;
+  config.maintenance_interval_s = 0;
+  mw::SosNode a(sched, net.endpoint(0), *infra.signup("hs-a", d0, 0), config);
+  mw::SosNode b(sched, net.endpoint(1), *infra.signup("hs-b", d1, 0), config);
+  a.start();
+  b.start();
+  a.follow(b.user_id());
+  b.publish(util::to_bytes("content"));
+  for (auto _ : state) {
+    net.set_in_range(0, 1, true);
+    sched.run_all();
+    net.set_in_range(0, 1, false);
+    sched.run_all();
+  }
+  state.counters["sessions"] =
+      static_cast<double>(a.stats().sessions_established);
+}
+BENCHMARK(BM_SessionHandshake);
+
+static void BM_BundleSignVerify(benchmark::State& state) {
+  crypto::Drbg d(util::to_bytes("bv"));
+  auto kp = crypto::Ed25519Keypair::from_seed(d.generate_array<32>());
+  bundle::Bundle b;
+  b.origin = pki::user_id_from_name("author");
+  b.msg_num = 1;
+  b.payload = d.generate(512);
+  for (auto _ : state) {
+    b.sign(kp);
+    benchmark::DoNotOptimize(b.verify(kp.public_key()));
+  }
+}
+BENCHMARK(BM_BundleSignVerify);
+
+static void BM_BundleCodec(benchmark::State& state) {
+  crypto::Drbg d(util::to_bytes("bc"));
+  bundle::Bundle b;
+  b.origin = pki::user_id_from_name("author");
+  b.msg_num = 7;
+  b.payload = d.generate(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto enc = b.encode();
+    benchmark::DoNotOptimize(bundle::Bundle::decode(enc));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BundleCodec)->Arg(64)->Arg(1024)->Arg(65536);
+
+static void BM_StoreSummary(benchmark::State& state) {
+  bundle::BundleStore store(100000);
+  crypto::Drbg d(util::to_bytes("ss"));
+  for (int user = 0; user < 20; ++user) {
+    for (std::uint32_t num = 1; num <= static_cast<std::uint32_t>(state.range(0)) / 20; ++num) {
+      bundle::Bundle b;
+      b.origin = pki::user_id_from_name("u" + std::to_string(user));
+      b.msg_num = num;
+      store.insert(std::move(b), 0);
+    }
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(store.summary());
+}
+BENCHMARK(BM_StoreSummary)->Arg(200)->Arg(2000);
+
+static void BM_StoreNewerThan(benchmark::State& state) {
+  bundle::BundleStore store(100000);
+  auto uid = pki::user_id_from_name("author");
+  for (std::uint32_t num = 1; num <= 2000; ++num) {
+    bundle::Bundle b;
+    b.origin = uid;
+    b.msg_num = num;
+    store.insert(std::move(b), 0);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(store.newer_than(uid, 1900));
+}
+BENCHMARK(BM_StoreNewerThan);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Simulator microbenchmarks: event engine throughput, mobility position
+// lookups, and grid-accelerated encounter scans at simulation-scale node
+// counts (the density ablation's inner loop).
+#include <benchmark/benchmark.h>
+
+#include "sim/mobility.hpp"
+#include "sim/radio.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+using namespace sos;
+
+static void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int count = 0;
+    for (int i = 0; i < 10000; ++i)
+      sched.schedule_at(static_cast<double>(i % 97), [&count] { ++count; });
+    sched.run_all();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+static void BM_MobilityPositionLookup(benchmark::State& state) {
+  util::Rng rng(1);
+  auto m = sim::daily_routine(50, util::days(7), {}, rng);
+  double t = 0;
+  for (auto _ : state) {
+    t += 31.0;
+    if (t > util::days(7)) t = 0;
+    benchmark::DoNotOptimize(m->position(static_cast<std::size_t>(t) % 50, t));
+  }
+}
+BENCHMARK(BM_MobilityPositionLookup);
+
+static void BM_EncounterScan(benchmark::State& state) {
+  util::Rng rng(2);
+  auto nodes = static_cast<std::size_t>(state.range(0));
+  sim::RandomWaypointParams params;
+  params.area = {2000, 2000};
+  auto m = sim::random_waypoint(nodes, 4000, params, rng);
+  sim::Scheduler sched;
+  sim::EncounterDetector det(sched, *m, 50.0, 30.0);
+  for (auto _ : state) {
+    sched.schedule_in(30.0, [] {});
+    sched.step();
+    det.scan();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(nodes));
+}
+BENCHMARK(BM_EncounterScan)->Arg(50)->Arg(200)->Arg(1000);
+
+static void BM_TrajectoryGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    util::Rng rng(3);
+    benchmark::DoNotOptimize(sim::daily_routine(10, util::days(7), {}, rng));
+  }
+}
+BENCHMARK(BM_TrajectoryGeneration);
+
+BENCHMARK_MAIN();

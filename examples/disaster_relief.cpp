@@ -1,0 +1,83 @@
+// Disaster-relief scenario (the paper's motivating use case): cellular
+// infrastructure is down across a city; an emergency coordinator publishes
+// resource updates that must reach everyone. Epidemic routing turns every
+// phone into a relay; this example watches the announcement percolate
+// through 30 residents moving around a 4 km x 4 km district.
+#include <cstdio>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "mw/sos_node.hpp"
+#include "pki/bootstrap.hpp"
+#include "sim/multipeer.hpp"
+#include "sim/radio.hpp"
+#include "sim/scheduler.hpp"
+
+using namespace sos;
+
+int main() {
+  constexpr std::size_t kResidents = 30;
+  sim::Scheduler sched;
+  sim::MpcNetwork net(sched, kResidents);
+
+  // Residents roam the district (random waypoint at walking speeds).
+  util::Rng rng(2024);
+  sim::RandomWaypointParams walk;
+  walk.area = {4000, 4000};
+  walk.max_pause_s = 300;
+  auto mobility = sim::random_waypoint(kResidents, util::hours(24), walk, rng);
+  sim::EncounterDetector detector(sched, *mobility, 80.0, 15.0);
+  detector.on_contact_start = [&](std::size_t a, std::size_t b) {
+    net.set_in_range((sim::PeerId)a, (sim::PeerId)b, true);
+  };
+  detector.on_contact_end = [&](std::size_t a, std::size_t b) {
+    net.set_in_range((sim::PeerId)a, (sim::PeerId)b, false);
+  };
+  detector.start(util::hours(24));
+
+  // Everyone signed up before the disaster (the one-time requirement).
+  pki::BootstrapService infra(util::to_bytes("relief-ca"));
+  std::vector<std::unique_ptr<mw::SosNode>> phones;
+  std::size_t reached = 0;
+  std::vector<double> reach_times;
+  for (std::size_t i = 0; i < kResidents; ++i) {
+    crypto::Drbg device(util::to_bytes("phone-" + std::to_string(i)));
+    auto creds = infra.signup("resident" + std::to_string(i), device, 0.0);
+    mw::SosConfig config;
+    config.scheme = "epidemic";  // gratuitous replication: everyone relays
+    phones.push_back(
+        std::make_unique<mw::SosNode>(sched, net.endpoint((sim::PeerId)i), std::move(*creds),
+                                      config));
+  }
+  const pki::UserId coordinator = phones[0]->user_id();
+  for (std::size_t i = 1; i < kResidents; ++i) {
+    phones[i]->follow(coordinator);  // everyone wants official updates
+    phones[i]->on_data = [&, i](const bundle::Bundle& b, const pki::Certificate&) {
+      ++reached;
+      reach_times.push_back(sched.now());
+      std::printf("[%s] resident%-2zu got the announcement (%u hop%s) — %zu/%zu reached\n",
+                  util::format_time(sched.now()).c_str(), i, b.hop_count,
+                  b.hop_count == 1 ? "" : "s", reached, kResidents - 1);
+      (void)b;
+    };
+  }
+  for (auto& phone : phones) phone->start();
+
+  // One hour into the outage, the coordinator publishes.
+  sched.schedule_at(util::hours(1), [&] {
+    std::printf("[%s] coordinator publishes: water point at Main & 5th\n",
+                util::format_time(sched.now()).c_str());
+    phones[0]->publish(util::to_bytes("WATER: Main & 5th, 10:00-18:00. MEDICAL: clinic B."));
+  });
+
+  sched.run_until(util::hours(24));
+
+  std::printf("\nafter 24h: %zu of %zu residents reached with zero infrastructure.\n",
+              reached, kResidents - 1);
+  if (!reach_times.empty()) {
+    std::printf("first delivery %.1f min after publication; last %.1f h after.\n",
+                (reach_times.front() - util::hours(1)) / 60.0,
+                (reach_times.back() - util::hours(1)) / 3600.0);
+  }
+  return reached > (kResidents - 1) / 2 ? 0 : 1;
+}

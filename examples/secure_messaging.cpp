@@ -1,0 +1,88 @@
+// Secure messaging: demonstrates the middleware's security layer end to
+// end. Alice sends Carol an end-to-end encrypted direct message that can
+// only travel through Bob (an epidemic relay). The example shows that
+// (1) Bob carries the DM but cannot read it, (2) an eavesdropper on the
+// radio sees only ciphertext, (3) a bundle Bob tampers with is rejected by
+// Carol's signature check, and (4) Carol decrypts the genuine DM.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "mw/sos_node.hpp"
+#include "pki/bootstrap.hpp"
+#include "sim/multipeer.hpp"
+#include "sim/scheduler.hpp"
+
+using namespace sos;
+
+int main() {
+  sim::Scheduler sched;
+  sim::MpcNetwork net(sched, 3);
+  pki::BootstrapService infra(util::to_bytes("secure-demo-ca"));
+
+  auto make_node = [&](int i, const std::string& name) {
+    crypto::Drbg device(util::to_bytes(name + "-device"));
+    mw::SosConfig config;
+    config.scheme = "epidemic";
+    config.maintenance_interval_s = 0;
+    return std::make_unique<mw::SosNode>(sched, net.endpoint((sim::PeerId)i),
+                                         *infra.signup(name, device, 0.0), config);
+  };
+  auto alice = make_node(0, "alice");
+  auto bob = make_node(1, "bob");
+  auto carol = make_node(2, "carol");
+  for (auto* n : {alice.get(), bob.get(), carol.get()}) n->start();
+
+  // The radio is hostile territory: log everything that crosses it.
+  const std::string secret = "meet at the old library, midnight";
+  std::size_t frames_seen = 0;
+  bool plaintext_leaked = false;
+  net.on_wire_frame = [&](sim::PeerId, sim::PeerId, const util::Bytes& w) {
+    ++frames_seen;
+    if (util::to_string(w).find(secret) != std::string::npos) plaintext_leaked = true;
+  };
+
+  std::printf("alice -> carol (E2E encrypted DM), only route is via bob...\n");
+  alice->send_direct(carol->credentials().certificate, util::to_bytes(secret));
+
+  // Leg 1: alice meets bob. Bob (epidemic) takes custody of the DM.
+  net.set_in_range(0, 1, true);
+  sched.run_all();
+  net.set_in_range(0, 1, false);
+  sched.run_all();
+
+  auto dm_id = bundle::BundleId{alice->user_id(), 1};
+  auto carried = bob->store().get(dm_id);
+  std::printf("bob carries the bundle: %s\n", carried ? "yes" : "NO (bug!)");
+  bool bob_read = bob->open_direct(*carried).has_value();
+  std::printf("bob can decrypt it: %s\n", bob_read ? "YES (broken!)" : "no (sealed for carol)");
+
+  // Bob also tries to tamper with a copy before forwarding.
+  auto forged = *carried;
+  forged.msg_num = 2;  // pretend it's a newer message
+  forged.payload = util::to_bytes("meet at the police station, noon");
+  bob->store().insert(forged, sched.now());
+  bob->routing().refresh_advertisement();
+
+  // Leg 2: bob meets carol.
+  std::string received;
+  carol->on_data = [&](const bundle::Bundle& b, const pki::Certificate&) {
+    auto plain = carol->open_direct(b);
+    if (plain) received = util::to_string(*plain);
+  };
+  net.set_in_range(1, 2, true);
+  sched.run_all();
+
+  std::printf("eavesdropper: %zu frames on the air, plaintext leaked: %s\n", frames_seen,
+              plaintext_leaked ? "YES (broken!)" : "never");
+  std::printf("carol decrypted: \"%s\"\n", received.c_str());
+  std::printf("carol rejected bob's forgery: %s (signature rejections: %llu)\n",
+              carol->store().contains({alice->user_id(), 2}) ? "NO (broken!)" : "yes",
+              static_cast<unsigned long long>(carol->stats().bundle_sig_rejected));
+
+  bool ok = !bob_read && !plaintext_leaked && received == secret &&
+            !carol->store().contains({alice->user_id(), 2});
+  std::printf("\nsecurity demo %s\n", ok ? "PASSED" : "FAILED");
+  return ok ? 0 : 1;
+}

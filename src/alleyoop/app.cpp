@@ -1,0 +1,66 @@
+#include "alleyoop/app.hpp"
+
+namespace sos::alleyoop {
+
+App::App(mw::SosNode& node, CloudService* cloud) : node_(node), cloud_(cloud) {
+  node_.on_data = [this](const bundle::Bundle& b, const pki::Certificate& cert) {
+    handle_bundle(b, cert);
+  };
+}
+
+Post App::post(const std::string& text) {
+  Post p;
+  p.author = node_.user_id();
+  p.author_name = username();
+  p.msg_num = node_.next_message_number();
+  p.text = text;
+
+  // Operation 1 (§V): save to the local database, then hand to SOS.
+  auto id = node_.publish(p.encode(), bundle::ContentType::SocialPost);
+  p.created_at = node_.store().get(id)->creation_ts;
+  db_.put_post(p);
+  db_.mark_local_post(p.author, p.msg_num);  // operation 2: pending sync
+  return p;
+}
+
+void App::follow(const pki::UserId& target) {
+  node_.follow(target);
+  SocialAction a{ActionKind::Follow, node_.user_id(), target, 0};
+  db_.put_action(a);
+}
+
+void App::unfollow(const pki::UserId& target) {
+  node_.unfollow(target);
+  SocialAction a{ActionKind::Unfollow, node_.user_id(), target, 0};
+  db_.put_action(a);
+}
+
+void App::sync_with_cloud() {
+  if (cloud_ == nullptr) return;
+  cloud_->push_posts(db_.take_pending_posts());
+  cloud_->push_actions(db_.action_log());
+  std::map<pki::UserId, std::uint32_t> have;
+  for (const auto& p : db_.timeline()) {
+    auto& max = have[p.author];
+    if (p.msg_num > max) max = p.msg_num;
+  }
+  for (const auto& p : cloud_->pull_posts(node_.user_id(), have)) db_.put_post(p);
+}
+
+void App::handle_bundle(const bundle::Bundle& b, const pki::Certificate& origin_cert) {
+  if (b.content != bundle::ContentType::SocialPost) return;
+  auto post = Post::decode(b.payload);
+  if (!post) return;
+  // The signed bundle metadata is authoritative; a forwarder cannot alter
+  // it, but a malicious *origin* could make payload fields disagree with
+  // the envelope — normalize from the envelope.
+  post->author = b.origin;
+  post->msg_num = b.msg_num;
+  post->author_name = origin_cert.subject_name;
+  if (db_.put_post(*post)) {
+    ++dtn_received_;
+    if (on_new_post) on_new_post(*post);
+  }
+}
+
+}  // namespace sos::alleyoop

@@ -1,0 +1,55 @@
+// AlleyOop Social — the green application layer of Fig 1. A thin social
+// app over the SOS middleware: post, follow/unfollow, timeline. Every user
+// action is (1) saved to the local database and (2) synchronized with the
+// cloud when Internet is available (§V); dissemination to nearby users
+// runs over SOS with whatever routing scheme is selected.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "alleyoop/cloud.hpp"
+#include "alleyoop/local_db.hpp"
+#include "mw/sos_node.hpp"
+
+namespace sos::alleyoop {
+
+class App {
+ public:
+  /// `node` must outlive the app. `cloud` may be nullptr (pure-DTN mode).
+  App(mw::SosNode& node, CloudService* cloud = nullptr);
+
+  const std::string& username() const { return node_.credentials().account_name; }
+  const pki::UserId& user_id() const { return node_.user_id(); }
+
+  /// Create a post: local save -> SOS dissemination -> pending cloud sync.
+  Post post(const std::string& text);
+
+  void follow(const pki::UserId& target);
+  void unfollow(const pki::UserId& target);
+
+  /// Newest-first, everything this device knows about.
+  std::vector<Post> timeline() const { return db_.timeline(); }
+  LocalDb& db() { return db_; }
+  mw::SosNode& node() { return node_; }
+
+  /// Push pending local records and pull missed posts ("when the Internet
+  /// becomes available"). No-op without a cloud.
+  void sync_with_cloud();
+
+  /// New post from a followed publisher arrived over D2D.
+  std::function<void(const Post&)> on_new_post;
+
+  std::uint64_t dtn_posts_received() const { return dtn_received_; }
+
+ private:
+  void handle_bundle(const bundle::Bundle& b, const pki::Certificate& origin_cert);
+
+  mw::SosNode& node_;
+  CloudService* cloud_;
+  LocalDb db_;
+  std::uint64_t dtn_received_ = 0;
+};
+
+}  // namespace sos::alleyoop

@@ -1,0 +1,45 @@
+#include "alleyoop/cloud.hpp"
+
+namespace sos::alleyoop {
+
+void CloudService::push_posts(const std::vector<Post>& posts) {
+  for (const auto& p : posts) posts_.emplace(std::pair{p.author, p.msg_num}, p);
+}
+
+void CloudService::push_actions(const std::vector<SocialAction>& actions) {
+  for (const auto& a : actions) {
+    if (a.kind == ActionKind::Follow)
+      follows_.insert({a.actor, a.target});
+    else
+      follows_.erase({a.actor, a.target});
+  }
+}
+
+std::vector<Post> CloudService::pull_posts(
+    const pki::UserId& follower, const std::map<pki::UserId, std::uint32_t>& have) const {
+  std::vector<Post> out;
+  for (const auto& [key, post] : posts_) {
+    const auto& [author, num] = key;
+    if (follows_.count({follower, author}) == 0) continue;
+    auto it = have.find(author);
+    std::uint32_t held = it == have.end() ? 0 : it->second;
+    if (num > held) out.push_back(post);
+  }
+  return out;
+}
+
+std::set<pki::UserId> CloudService::followers_of(const pki::UserId& publisher) const {
+  std::set<pki::UserId> out;
+  for (const auto& [actor, target] : follows_)
+    if (target == publisher) out.insert(actor);
+  return out;
+}
+
+std::set<pki::UserId> CloudService::following_of(const pki::UserId& user) const {
+  std::set<pki::UserId> out;
+  for (const auto& [actor, target] : follows_)
+    if (actor == user) out.insert(target);
+  return out;
+}
+
+}  // namespace sos::alleyoop

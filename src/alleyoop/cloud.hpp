@@ -1,0 +1,35 @@
+// The AlleyOop cloud backend (§V operation 2: actions sync "with the cloud
+// when the Internet becomes available"). Holds the global post store and
+// social graph; devices push pending records and pull what they missed
+// whenever they have connectivity. DTN dissemination never depends on it —
+// that is the entire point of the paper.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "alleyoop/post.hpp"
+
+namespace sos::alleyoop {
+
+class CloudService {
+ public:
+  /// Device push: store posts/actions the device created offline.
+  void push_posts(const std::vector<Post>& posts);
+  void push_actions(const std::vector<SocialAction>& actions);
+
+  /// Device pull: posts from followed users newer than what it holds.
+  std::vector<Post> pull_posts(const pki::UserId& follower,
+                               const std::map<pki::UserId, std::uint32_t>& have) const;
+
+  std::size_t post_count() const { return posts_.size(); }
+  std::set<pki::UserId> followers_of(const pki::UserId& publisher) const;
+  std::set<pki::UserId> following_of(const pki::UserId& user) const;
+
+ private:
+  std::map<std::pair<pki::UserId, std::uint32_t>, Post> posts_;
+  std::set<std::pair<pki::UserId, pki::UserId>> follows_;  // (actor, target)
+};
+
+}  // namespace sos::alleyoop

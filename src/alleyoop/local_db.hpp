@@ -1,0 +1,52 @@
+// Per-device local database (§V operation 1: every message/action is saved
+// locally first). Append-only action log plus a timeline index, with a
+// serializable snapshot standing in for on-device storage, and a pending
+// queue of records not yet synchronized with the cloud.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "alleyoop/post.hpp"
+
+namespace sos::alleyoop {
+
+class LocalDb {
+ public:
+  /// Store a post (own or received). Returns false for duplicates.
+  bool put_post(const Post& post);
+  bool has_post(const pki::UserId& author, std::uint32_t msg_num) const;
+  std::optional<Post> get_post(const pki::UserId& author, std::uint32_t msg_num) const;
+
+  /// Record a follow/unfollow action.
+  void put_action(const SocialAction& action);
+
+  /// Newest-first timeline of every stored post.
+  std::vector<Post> timeline() const;
+  /// Posts by one author, ascending message number.
+  std::vector<Post> posts_by(const pki::UserId& author) const;
+  std::size_t post_count() const { return posts_.size(); }
+  const std::vector<SocialAction>& action_log() const { return actions_; }
+
+  /// Who `user` currently follows according to the replayed action log.
+  std::set<pki::UserId> following_of(const pki::UserId& user) const;
+
+  // --- cloud-sync bookkeeping ----------------------------------------------
+  /// Records created locally and not yet acknowledged by the cloud.
+  std::size_t pending_sync_count() const { return pending_posts_.size(); }
+  void mark_local_post(const pki::UserId& author, std::uint32_t msg_num);
+  std::vector<Post> take_pending_posts();
+
+  // --- persistence snapshot ---------------------------------------------------
+  util::Bytes serialize() const;
+  static std::optional<LocalDb> deserialize(util::ByteView data);
+
+ private:
+  std::map<std::pair<pki::UserId, std::uint32_t>, Post> posts_;
+  std::vector<SocialAction> actions_;
+  std::set<std::pair<pki::UserId, std::uint32_t>> pending_posts_;
+};
+
+}  // namespace sos::alleyoop

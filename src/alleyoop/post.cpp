@@ -1,0 +1,51 @@
+#include "alleyoop/post.hpp"
+
+#include "util/codec.hpp"
+
+namespace sos::alleyoop {
+
+util::Bytes Post::encode() const {
+  util::Writer w;
+  w.raw(author.view());
+  w.str(author_name);
+  w.u32(msg_num);
+  w.f64(created_at);
+  w.str(text);
+  return w.take();
+}
+
+std::optional<Post> Post::decode(util::ByteView data) {
+  util::Reader r(data);
+  Post p;
+  p.author.bytes = r.raw_array<pki::kUserIdSize>();
+  p.author_name = r.str();
+  p.msg_num = r.u32();
+  p.created_at = r.f64();
+  p.text = r.str();
+  if (!r.done()) return std::nullopt;
+  return p;
+}
+
+util::Bytes SocialAction::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.raw(actor.view());
+  w.raw(target.view());
+  w.f64(at);
+  return w.take();
+}
+
+std::optional<SocialAction> SocialAction::decode(util::ByteView data) {
+  util::Reader r(data);
+  SocialAction a;
+  auto kind = r.u8();
+  if (kind > 1) return std::nullopt;
+  a.kind = static_cast<ActionKind>(kind);
+  a.actor.bytes = r.raw_array<pki::kUserIdSize>();
+  a.target.bytes = r.raw_array<pki::kUserIdSize>();
+  a.at = r.f64();
+  if (!r.done()) return std::nullopt;
+  return a;
+}
+
+}  // namespace sos::alleyoop

@@ -1,0 +1,41 @@
+// AlleyOop Social data records carried as bundle payloads: posts and the
+// follow/unfollow control actions §V lists ("whenever a user creates a
+// message or performs an action such as follow/unfollow ... saves the
+// action to the local database and synchronizes with the cloud when the
+// Internet becomes available").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "pki/identity.hpp"
+#include "util/bytes.hpp"
+#include "util/time.hpp"
+
+namespace sos::alleyoop {
+
+struct Post {
+  pki::UserId author;
+  std::string author_name;
+  std::uint32_t msg_num = 0;
+  util::SimTime created_at = 0;
+  std::string text;
+
+  util::Bytes encode() const;
+  static std::optional<Post> decode(util::ByteView data);
+};
+
+enum class ActionKind : std::uint8_t { Follow = 0, Unfollow = 1 };
+
+struct SocialAction {
+  ActionKind kind = ActionKind::Follow;
+  pki::UserId actor;
+  pki::UserId target;
+  util::SimTime at = 0;
+
+  util::Bytes encode() const;
+  static std::optional<SocialAction> decode(util::ByteView data);
+};
+
+}  // namespace sos::alleyoop

@@ -1,0 +1,82 @@
+#include "bundle/store.hpp"
+
+namespace sos::bundle {
+
+bool BundleStore::insert(Bundle b, util::SimTime now) {
+  BundleId id = b.id();
+  if (bundles_.count(id) > 0) {
+    ++duplicates_;
+    return false;
+  }
+  StoredBundle stored{std::move(b), now, 0};
+  stored.hops_on_arrival = stored.bundle.hop_count;
+  bundles_.emplace(id, std::move(stored));
+  evict_if_needed();
+  return true;
+}
+
+bool BundleStore::contains(const BundleId& id) const {
+  return bundles_.count(id) > 0;
+}
+
+std::optional<Bundle> BundleStore::get(const BundleId& id) const {
+  auto it = bundles_.find(id);
+  if (it == bundles_.end()) return std::nullopt;
+  return it->second.bundle;
+}
+
+std::map<pki::UserId, std::uint32_t> BundleStore::summary() const {
+  std::map<pki::UserId, std::uint32_t> out;
+  for (const auto& [id, stored] : bundles_) {
+    auto [it, inserted] = out.emplace(id.origin, id.msg_num);
+    if (!inserted && id.msg_num > it->second) it->second = id.msg_num;
+  }
+  return out;
+}
+
+std::vector<Bundle> BundleStore::newer_than(const pki::UserId& origin,
+                                            std::uint32_t after) const {
+  std::vector<Bundle> out;
+  // BundleId ordering is (origin, msg_num), so this is a range scan.
+  auto it = bundles_.lower_bound(BundleId{origin, after + 1});
+  for (; it != bundles_.end() && it->first.origin == origin; ++it)
+    out.push_back(it->second.bundle);
+  return out;
+}
+
+std::vector<const StoredBundle*> BundleStore::all() const {
+  std::vector<const StoredBundle*> out;
+  out.reserve(bundles_.size());
+  for (const auto& [id, stored] : bundles_) out.push_back(&stored);
+  return out;
+}
+
+std::size_t BundleStore::expire(util::SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = bundles_.begin(); it != bundles_.end();) {
+    if (it->second.bundle.expired(now)) {
+      it = bundles_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void BundleStore::remove(const BundleId& id) {
+  bundles_.erase(id);
+}
+
+void BundleStore::evict_if_needed() {
+  while (bundles_.size() > capacity_) {
+    // Evict the oldest bundle by creation time (drop-head policy).
+    auto oldest = bundles_.begin();
+    for (auto it = bundles_.begin(); it != bundles_.end(); ++it)
+      if (it->second.bundle.creation_ts < oldest->second.bundle.creation_ts) oldest = it;
+    bundles_.erase(oldest);
+    ++evicted_;
+  }
+}
+
+}  // namespace sos::bundle

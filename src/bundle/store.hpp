@@ -1,0 +1,61 @@
+// Bundle store: per-device persistent buffer of carried bundles. Provides
+// the two queries the SOS protocol needs — the advertisement summary
+// (UserID -> latest MessageNumber, Fig 2b) and "everything from user U
+// newer than sequence N" (the request a browsing node sends). Handles
+// duplicate suppression, TTL expiry and capacity eviction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bundle/bundle.hpp"
+
+namespace sos::bundle {
+
+struct StoredBundle {
+  Bundle bundle;
+  util::SimTime received_at = 0;
+  std::uint8_t hops_on_arrival = 0;
+};
+
+class BundleStore {
+ public:
+  explicit BundleStore(std::size_t capacity = 10000) : capacity_(capacity) {}
+
+  /// Insert if new; returns false for duplicates (same origin + msg_num).
+  bool insert(Bundle b, util::SimTime now);
+
+  bool contains(const BundleId& id) const;
+  std::optional<Bundle> get(const BundleId& id) const;
+  std::size_t size() const { return bundles_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Highest message number held per publisher — the plain-text
+  /// advertisement dictionary content.
+  std::map<pki::UserId, std::uint32_t> summary() const;
+
+  /// All bundles from `origin` with msg_num > after, ascending.
+  std::vector<Bundle> newer_than(const pki::UserId& origin, std::uint32_t after) const;
+
+  /// Every held bundle (routing schemes iterate for forwarding decisions).
+  std::vector<const StoredBundle*> all() const;
+
+  /// Drop bundles whose lifetime elapsed; returns number removed.
+  std::size_t expire(util::SimTime now);
+
+  void remove(const BundleId& id);
+  std::uint64_t evicted_count() const { return evicted_; }
+  std::uint64_t duplicate_count() const { return duplicates_; }
+
+ private:
+  void evict_if_needed();
+
+  std::map<BundleId, StoredBundle> bundles_;
+  std::size_t capacity_;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace sos::bundle

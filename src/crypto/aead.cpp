@@ -1,0 +1,50 @@
+#include "crypto/aead.hpp"
+
+#include <cstring>
+
+#include "crypto/poly1305.hpp"
+
+namespace sos::crypto {
+
+namespace {
+PolyTag compute_tag(const std::uint8_t poly_key[32], util::ByteView aad,
+                    util::ByteView ciphertext) {
+  Poly1305 mac(poly_key);
+  static const std::uint8_t zeros[16] = {0};
+  mac.update(aad);
+  if (aad.size() % 16 != 0) mac.update(util::ByteView(zeros, 16 - aad.size() % 16));
+  mac.update(ciphertext);
+  if (ciphertext.size() % 16 != 0)
+    mac.update(util::ByteView(zeros, 16 - ciphertext.size() % 16));
+  std::uint8_t lens[16];
+  util::store64_le(lens, aad.size());
+  util::store64_le(lens + 8, ciphertext.size());
+  mac.update(util::ByteView(lens, 16));
+  return mac.finish();
+}
+}  // namespace
+
+util::Bytes aead_seal(const std::uint8_t key[kAeadKeySize],
+                      const std::uint8_t nonce[kAeadNonceSize], util::ByteView aad,
+                      util::ByteView plaintext) {
+  // poly key = first 32 bytes of block 0
+  auto block0 = chacha20_block(key, 0, nonce);
+  util::Bytes out = chacha20(key, 1, nonce, plaintext);
+  PolyTag tag = compute_tag(block0.data(), aad, out);
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<util::Bytes> aead_open(const std::uint8_t key[kAeadKeySize],
+                                     const std::uint8_t nonce[kAeadNonceSize],
+                                     util::ByteView aad, util::ByteView sealed) {
+  if (sealed.size() < kAeadTagSize) return std::nullopt;
+  util::ByteView ciphertext = sealed.first(sealed.size() - kAeadTagSize);
+  util::ByteView tag = sealed.last(kAeadTagSize);
+  auto block0 = chacha20_block(key, 0, nonce);
+  PolyTag expect = compute_tag(block0.data(), aad, ciphertext);
+  if (!util::ct_equal(util::ByteView(expect.data(), expect.size()), tag)) return std::nullopt;
+  return chacha20(key, 1, nonce, ciphertext);
+}
+
+}  // namespace sos::crypto

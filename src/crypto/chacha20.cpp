@@ -1,0 +1,71 @@
+#include "crypto/chacha20.hpp"
+
+#include <cstring>
+
+namespace sos::crypto {
+
+namespace {
+inline std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b;
+  d = rotl(d ^ a, 16);
+  c += d;
+  b = rotl(b ^ c, 12);
+  a += b;
+  d = rotl(d ^ a, 8);
+  c += d;
+  b = rotl(b ^ c, 7);
+}
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(const std::uint8_t key[kChaChaKeySize],
+                                            std::uint32_t counter,
+                                            const std::uint8_t nonce[kChaChaNonceSize]) {
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = util::load32_le(key + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = util::load32_le(nonce + 4 * i);
+
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) util::store32_le(out.data() + 4 * i, x[i] + state[i]);
+  return out;
+}
+
+void chacha20_xor(const std::uint8_t key[kChaChaKeySize], std::uint32_t counter,
+                  const std::uint8_t nonce[kChaChaNonceSize], std::uint8_t* data,
+                  std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    auto ks = chacha20_block(key, counter++, nonce);
+    std::size_t take = std::min<std::size_t>(64, len - off);
+    for (std::size_t i = 0; i < take; ++i) data[off + i] ^= ks[i];
+    off += take;
+  }
+}
+
+util::Bytes chacha20(const std::uint8_t key[kChaChaKeySize], std::uint32_t counter,
+                     const std::uint8_t nonce[kChaChaNonceSize], util::ByteView data) {
+  util::Bytes out(data.begin(), data.end());
+  chacha20_xor(key, counter, nonce, out.data(), out.size());
+  return out;
+}
+
+}  // namespace sos::crypto

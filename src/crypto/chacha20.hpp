@@ -1,0 +1,28 @@
+// ChaCha20 stream cipher (RFC 8439): block function and XOR keystream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sos::crypto {
+
+constexpr std::size_t kChaChaKeySize = 32;
+constexpr std::size_t kChaChaNonceSize = 12;
+
+/// One 64-byte ChaCha20 block for (key, counter, nonce).
+std::array<std::uint8_t, 64> chacha20_block(const std::uint8_t key[kChaChaKeySize],
+                                            std::uint32_t counter,
+                                            const std::uint8_t nonce[kChaChaNonceSize]);
+
+/// XOR `data` with the keystream starting at block `counter` (in place).
+void chacha20_xor(const std::uint8_t key[kChaChaKeySize], std::uint32_t counter,
+                  const std::uint8_t nonce[kChaChaNonceSize], std::uint8_t* data,
+                  std::size_t len);
+
+/// Convenience: returns the transformed copy.
+util::Bytes chacha20(const std::uint8_t key[kChaChaKeySize], std::uint32_t counter,
+                     const std::uint8_t nonce[kChaChaNonceSize], util::ByteView data);
+
+}  // namespace sos::crypto

@@ -1,0 +1,36 @@
+#include "crypto/drbg.hpp"
+
+#include <cstring>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sos::crypto {
+
+Drbg::Drbg(util::ByteView seed) {
+  auto d = Sha256::hash(seed);
+  std::memcpy(key_, d.data(), 32);
+}
+
+void Drbg::generate(std::uint8_t* out, std::size_t len) {
+  std::memset(out, 0, len);
+  std::uint8_t nonce[12] = {0};
+  util::store64_le(nonce, counter_++);
+  chacha20_xor(key_, 0, nonce, out, len);
+}
+
+util::Bytes Drbg::generate(std::size_t len) {
+  util::Bytes out(len);
+  generate(out.data(), len);
+  return out;
+}
+
+Drbg Drbg::fork(util::ByteView label) {
+  util::Bytes seed(key_, key_ + 32);
+  util::append(seed, label);
+  auto child = generate(16);  // advance our stream so repeated forks differ
+  util::append(seed, child);
+  return Drbg(seed);
+}
+
+}  // namespace sos::crypto

@@ -1,0 +1,35 @@
+// Deterministic random byte generator (ChaCha20-based). All key material in
+// simulations derives from the scenario seed so every run is reproducible;
+// a fresh fork() per node keeps streams independent.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sos::crypto {
+
+class Drbg {
+ public:
+  explicit Drbg(util::ByteView seed);
+
+  /// Fill `out` with the next `len` pseudo-random bytes.
+  void generate(std::uint8_t* out, std::size_t len);
+  util::Bytes generate(std::size_t len);
+
+  template <std::size_t N>
+  std::array<std::uint8_t, N> generate_array() {
+    std::array<std::uint8_t, N> out;
+    generate(out.data(), out.size());
+    return out;
+  }
+
+  /// Derive an independent child generator (label separates domains).
+  Drbg fork(util::ByteView label);
+
+ private:
+  std::uint8_t key_[32];
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace sos::crypto

@@ -1,0 +1,275 @@
+#include "crypto/fe25519.hpp"
+
+#include <cstring>
+
+namespace sos::crypto {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+namespace {
+constexpr u64 kMask51 = (1ULL << 51) - 1;
+
+// 8*p in limb form: keeps subtraction results positive for inputs < 2^54.
+constexpr u64 k8P0 = (kMask51 + 1 - 19) * 8;  // 8*(2^51-19)
+constexpr u64 k8P = kMask51 * 8;              // 8*(2^51-1)
+
+void carry_reduce(u64 t[5]) {
+  // Two passes bring any sum of products / biased subtraction into
+  // limbs < 2^52; callers needing canonical form use fe_tobytes.
+  for (int pass = 0; pass < 2; ++pass) {
+    u64 c;
+    c = t[0] >> 51;
+    t[0] &= kMask51;
+    t[1] += c;
+    c = t[1] >> 51;
+    t[1] &= kMask51;
+    t[2] += c;
+    c = t[2] >> 51;
+    t[2] &= kMask51;
+    t[3] += c;
+    c = t[3] >> 51;
+    t[3] &= kMask51;
+    t[4] += c;
+    c = t[4] >> 51;
+    t[4] &= kMask51;
+    t[0] += 19 * c;
+  }
+}
+}  // namespace
+
+const Fe kFeZero = {{0, 0, 0, 0, 0}};
+const Fe kFeOne = {{1, 0, 0, 0, 0}};
+
+Fe fe_from_u64(u64 x) {
+  Fe f = {{x & kMask51, (x >> 51), 0, 0, 0}};
+  return f;
+}
+
+Fe fe_frombytes(const std::uint8_t s[32]) {
+  Fe f;
+  f.v[0] = util::load64_le(s) & kMask51;
+  f.v[1] = (util::load64_le(s + 6) >> 3) & kMask51;
+  f.v[2] = (util::load64_le(s + 12) >> 6) & kMask51;
+  f.v[3] = (util::load64_le(s + 19) >> 1) & kMask51;
+  f.v[4] = (util::load64_le(s + 24) >> 12) & kMask51;
+  return f;
+}
+
+void fe_tobytes(std::uint8_t s[32], const Fe& f) {
+  u64 t[5];
+  std::memcpy(t, f.v, sizeof(t));
+  carry_reduce(t);
+  carry_reduce(t);
+  // Now 0 <= value < 2^255. Subtract p if value >= p, i.e. if value+19 has
+  // bit 255 set.
+  u64 q[5];
+  std::memcpy(q, t, sizeof(q));
+  q[0] += 19;
+  for (int i = 0; i < 4; ++i) {
+    q[i + 1] += q[i] >> 51;
+    q[i] &= kMask51;
+  }
+  u64 carry = q[4] >> 51;
+  if (carry) {
+    q[4] &= kMask51;
+    std::memcpy(t, q, sizeof(q));
+  }
+  // Serialize 5x51-bit limbs into 32 bytes LE.
+  std::uint8_t out[32] = {0};
+  u128 acc = 0;
+  int bits = 0;
+  int idx = 0;
+  for (int limb = 0; limb < 5; ++limb) {
+    acc |= (u128)t[limb] << bits;
+    bits += 51;
+    while (bits >= 8 && idx < 32) {
+      out[idx++] = (std::uint8_t)acc;
+      acc >>= 8;
+      bits -= 8;
+    }
+  }
+  while (idx < 32) {
+    out[idx++] = (std::uint8_t)acc;
+    acc >>= 8;
+  }
+  std::memcpy(s, out, 32);
+}
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  carry_reduce(r.v);
+  return r;
+}
+
+Fe fe_sub(const Fe& a, const Fe& b) {
+  Fe r;
+  r.v[0] = a.v[0] + k8P0 - b.v[0];
+  for (int i = 1; i < 5; ++i) r.v[i] = a.v[i] + k8P - b.v[i];
+  carry_reduce(r.v);
+  return r;
+}
+
+Fe fe_neg(const Fe& a) {
+  return fe_sub(kFeZero, a);
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  u128 t0 = (u128)a.v[0] * b.v[0] + (u128)(19 * a.v[1]) * b.v[4] + (u128)(19 * a.v[2]) * b.v[3] +
+            (u128)(19 * a.v[3]) * b.v[2] + (u128)(19 * a.v[4]) * b.v[1];
+  u128 t1 = (u128)a.v[0] * b.v[1] + (u128)a.v[1] * b.v[0] + (u128)(19 * a.v[2]) * b.v[4] +
+            (u128)(19 * a.v[3]) * b.v[3] + (u128)(19 * a.v[4]) * b.v[2];
+  u128 t2 = (u128)a.v[0] * b.v[2] + (u128)a.v[1] * b.v[1] + (u128)a.v[2] * b.v[0] +
+            (u128)(19 * a.v[3]) * b.v[4] + (u128)(19 * a.v[4]) * b.v[3];
+  u128 t3 = (u128)a.v[0] * b.v[3] + (u128)a.v[1] * b.v[2] + (u128)a.v[2] * b.v[1] +
+            (u128)a.v[3] * b.v[0] + (u128)(19 * a.v[4]) * b.v[4];
+  u128 t4 = (u128)a.v[0] * b.v[4] + (u128)a.v[1] * b.v[3] + (u128)a.v[2] * b.v[2] +
+            (u128)a.v[3] * b.v[1] + (u128)a.v[4] * b.v[0];
+
+  Fe r;
+  u64 c;
+  r.v[0] = (u64)t0 & kMask51;
+  c = (u64)(t0 >> 51);
+  t1 += c;
+  r.v[1] = (u64)t1 & kMask51;
+  c = (u64)(t1 >> 51);
+  t2 += c;
+  r.v[2] = (u64)t2 & kMask51;
+  c = (u64)(t2 >> 51);
+  t3 += c;
+  r.v[3] = (u64)t3 & kMask51;
+  c = (u64)(t3 >> 51);
+  t4 += c;
+  r.v[4] = (u64)t4 & kMask51;
+  c = (u64)(t4 >> 51);
+  r.v[0] += 19 * c;
+  c = r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  r.v[1] += c;
+  return r;
+}
+
+Fe fe_sq(const Fe& a) {
+  return fe_mul(a, a);
+}
+
+Fe fe_mul121666(const Fe& a) {
+  u128 t[5];
+  for (int i = 0; i < 5; ++i) t[i] = (u128)a.v[i] * 121666;
+  Fe r;
+  u64 c;
+  r.v[0] = (u64)t[0] & kMask51;
+  c = (u64)(t[0] >> 51);
+  t[1] += c;
+  r.v[1] = (u64)t[1] & kMask51;
+  c = (u64)(t[1] >> 51);
+  t[2] += c;
+  r.v[2] = (u64)t[2] & kMask51;
+  c = (u64)(t[2] >> 51);
+  t[3] += c;
+  r.v[3] = (u64)t[3] & kMask51;
+  c = (u64)(t[3] >> 51);
+  t[4] += c;
+  r.v[4] = (u64)t[4] & kMask51;
+  c = (u64)(t[4] >> 51);
+  r.v[0] += 19 * c;
+  return r;
+}
+
+namespace {
+// Square-and-multiply with a big-endian exponent; exponent is public
+// (p-2 or (p-5)/8), so variable-time scanning is fine.
+Fe fe_pow(const Fe& base, const std::uint8_t* exp_be, std::size_t len) {
+  Fe result = kFeOne;
+  bool started = false;
+  for (std::size_t i = 0; i < len; ++i) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if (started) result = fe_sq(result);
+      if ((exp_be[i] >> bit) & 1) {
+        if (started)
+          result = fe_mul(result, base);
+        else {
+          result = base;
+          started = true;
+        }
+      } else if (!started) {
+        continue;
+      }
+    }
+  }
+  return result;
+}
+
+// p - 2 = 2^255 - 21, big-endian.
+const std::uint8_t kPm2[32] = {
+    0x7f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xeb};
+// (p - 5) / 8 = 2^252 - 3, big-endian.
+const std::uint8_t kP58[32] = {
+    0x0f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xfd};
+// (p - 1) / 4 = 2^253 - 5, big-endian (for sqrt(-1) = 2^((p-1)/4)).
+const std::uint8_t kPm1Q[32] = {
+    0x1f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xfb};
+}  // namespace
+
+Fe fe_invert(const Fe& a) {
+  return fe_pow(a, kPm2, 32);
+}
+
+Fe fe_pow_p58(const Fe& a) {
+  return fe_pow(a, kP58, 32);
+}
+
+bool fe_is_zero(const Fe& a) {
+  std::uint8_t s[32];
+  fe_tobytes(s, a);
+  std::uint8_t acc = 0;
+  for (auto b : s) acc |= b;
+  return acc == 0;
+}
+
+int fe_is_negative(const Fe& a) {
+  std::uint8_t s[32];
+  fe_tobytes(s, a);
+  return s[0] & 1;
+}
+
+bool fe_equal(const Fe& a, const Fe& b) {
+  std::uint8_t sa[32], sb[32];
+  fe_tobytes(sa, a);
+  fe_tobytes(sb, b);
+  return std::memcmp(sa, sb, 32) == 0;
+}
+
+void fe_cswap(Fe& a, Fe& b, std::uint64_t bit) {
+  u64 mask = 0 - bit;
+  for (int i = 0; i < 5; ++i) {
+    u64 x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+const Fe& fe_sqrt_m1() {
+  static const Fe value = fe_pow(fe_from_u64(2), kPm1Q, 32);
+  return value;
+}
+
+const Fe& fe_edwards_d() {
+  // d = -121665/121666 mod p
+  static const Fe value = fe_mul(fe_neg(fe_from_u64(121665)), fe_invert(fe_from_u64(121666)));
+  return value;
+}
+
+const Fe& fe_edwards_2d() {
+  static const Fe value = fe_add(fe_edwards_d(), fe_edwards_d());
+  return value;
+}
+
+}  // namespace sos::crypto

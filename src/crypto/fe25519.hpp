@@ -1,0 +1,52 @@
+// GF(2^255-19) field arithmetic with five 51-bit limbs (64-bit limbs,
+// products via unsigned __int128). Shared by X25519 and Ed25519.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sos::crypto {
+
+struct Fe {
+  std::uint64_t v[5];
+};
+
+extern const Fe kFeZero;
+extern const Fe kFeOne;
+
+Fe fe_from_u64(std::uint64_t x);
+/// Load 32 little-endian bytes (top bit masked off, value may be >= p).
+Fe fe_frombytes(const std::uint8_t s[32]);
+/// Canonical 32-byte little-endian encoding (fully reduced mod p).
+void fe_tobytes(std::uint8_t s[32], const Fe& f);
+
+Fe fe_add(const Fe& a, const Fe& b);
+Fe fe_sub(const Fe& a, const Fe& b);
+Fe fe_mul(const Fe& a, const Fe& b);
+Fe fe_sq(const Fe& a);
+Fe fe_neg(const Fe& a);
+/// a * 121666 (X25519 ladder constant).
+Fe fe_mul121666(const Fe& a);
+/// Multiplicative inverse (zero maps to zero).
+Fe fe_invert(const Fe& a);
+/// a^((p-5)/8), used in square-root extraction.
+Fe fe_pow_p58(const Fe& a);
+
+bool fe_is_zero(const Fe& a);
+/// Least significant bit of the canonical encoding ("sign" of x in Ed25519).
+int fe_is_negative(const Fe& a);
+bool fe_equal(const Fe& a, const Fe& b);
+
+/// Constant-time conditional swap (swap iff bit == 1).
+void fe_cswap(Fe& a, Fe& b, std::uint64_t bit);
+
+/// sqrt(-1) mod p, computed once at startup.
+const Fe& fe_sqrt_m1();
+/// Edwards curve constant d = -121665/121666 mod p.
+const Fe& fe_edwards_d();
+/// 2*d.
+const Fe& fe_edwards_2d();
+
+}  // namespace sos::crypto

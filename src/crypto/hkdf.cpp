@@ -1,0 +1,33 @@
+#include "crypto/hkdf.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace sos::crypto {
+
+util::Bytes hkdf_extract(util::ByteView salt, util::ByteView ikm) {
+  auto prk = hmac_sha256(salt, ikm);
+  return util::Bytes(prk.begin(), prk.end());
+}
+
+util::Bytes hkdf_expand(util::ByteView prk, util::ByteView info, std::size_t len) {
+  util::Bytes okm;
+  okm.reserve(len);
+  util::Bytes t;
+  std::uint8_t counter = 1;
+  while (okm.size() < len) {
+    util::Bytes block = t;
+    util::append(block, info);
+    block.push_back(counter++);
+    auto d = hmac_sha256(prk, block);
+    t.assign(d.begin(), d.end());
+    std::size_t take = std::min<std::size_t>(t.size(), len - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return okm;
+}
+
+util::Bytes hkdf(util::ByteView salt, util::ByteView ikm, util::ByteView info, std::size_t len) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, len);
+}
+
+}  // namespace sos::crypto

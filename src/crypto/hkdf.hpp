@@ -1,0 +1,18 @@
+// HKDF-SHA256 (RFC 5869). The ad hoc manager derives the two directional
+// session AEAD keys from the X25519 shared secret with this.
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace sos::crypto {
+
+/// HKDF-Extract: PRK = HMAC-SHA256(salt, ikm).
+util::Bytes hkdf_extract(util::ByteView salt, util::ByteView ikm);
+
+/// HKDF-Expand: OKM of `len` bytes (len <= 255*32).
+util::Bytes hkdf_expand(util::ByteView prk, util::ByteView info, std::size_t len);
+
+/// Extract-then-expand convenience.
+util::Bytes hkdf(util::ByteView salt, util::ByteView ikm, util::ByteView info, std::size_t len);
+
+}  // namespace sos::crypto

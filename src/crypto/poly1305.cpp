@@ -1,0 +1,189 @@
+#include "crypto/poly1305.hpp"
+
+#include <cstring>
+
+namespace sos::crypto {
+
+Poly1305::Poly1305(const std::uint8_t key[kPolyKeySize]) {
+  // r with the RFC clamping, split into 26-bit limbs.
+  std::uint32_t t0 = util::load32_le(key + 0);
+  std::uint32_t t1 = util::load32_le(key + 4);
+  std::uint32_t t2 = util::load32_le(key + 8);
+  std::uint32_t t3 = util::load32_le(key + 12);
+  r_[0] = t0 & 0x3ffffff;
+  r_[1] = ((t0 >> 26) | (t1 << 6)) & 0x3ffff03;
+  r_[2] = ((t1 >> 20) | (t2 << 12)) & 0x3ffc0ff;
+  r_[3] = ((t2 >> 14) | (t3 << 18)) & 0x3f03fff;
+  r_[4] = (t3 >> 8) & 0x00fffff;
+  std::memset(h_, 0, sizeof(h_));
+  for (int i = 0; i < 4; ++i) pad_[i] = util::load32_le(key + 16 + 4 * i);
+}
+
+void Poly1305::blocks(const std::uint8_t* data, std::size_t len, std::uint32_t hibit) {
+  const std::uint32_t r0 = r_[0], r1 = r_[1], r2 = r_[2], r3 = r_[3], r4 = r_[4];
+  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+
+  while (len >= 16) {
+    std::uint32_t t0 = util::load32_le(data + 0);
+    std::uint32_t t1 = util::load32_le(data + 4);
+    std::uint32_t t2 = util::load32_le(data + 8);
+    std::uint32_t t3 = util::load32_le(data + 12);
+    h0 += t0 & 0x3ffffff;
+    h1 += ((t0 >> 26) | (t1 << 6)) & 0x3ffffff;
+    h2 += ((t1 >> 20) | (t2 << 12)) & 0x3ffffff;
+    h3 += ((t2 >> 14) | (t3 << 18)) & 0x3ffffff;
+    h4 += (t3 >> 8) | hibit;
+
+    std::uint64_t d0 = (std::uint64_t)h0 * r0 + (std::uint64_t)h1 * s4 + (std::uint64_t)h2 * s3 +
+                       (std::uint64_t)h3 * s2 + (std::uint64_t)h4 * s1;
+    std::uint64_t d1 = (std::uint64_t)h0 * r1 + (std::uint64_t)h1 * r0 + (std::uint64_t)h2 * s4 +
+                       (std::uint64_t)h3 * s3 + (std::uint64_t)h4 * s2;
+    std::uint64_t d2 = (std::uint64_t)h0 * r2 + (std::uint64_t)h1 * r1 + (std::uint64_t)h2 * r0 +
+                       (std::uint64_t)h3 * s4 + (std::uint64_t)h4 * s3;
+    std::uint64_t d3 = (std::uint64_t)h0 * r3 + (std::uint64_t)h1 * r2 + (std::uint64_t)h2 * r1 +
+                       (std::uint64_t)h3 * r0 + (std::uint64_t)h4 * s4;
+    std::uint64_t d4 = (std::uint64_t)h0 * r4 + (std::uint64_t)h1 * r3 + (std::uint64_t)h2 * r2 +
+                       (std::uint64_t)h3 * r1 + (std::uint64_t)h4 * r0;
+
+    std::uint32_t c;
+    c = (std::uint32_t)(d0 >> 26);
+    h0 = (std::uint32_t)d0 & 0x3ffffff;
+    d1 += c;
+    c = (std::uint32_t)(d1 >> 26);
+    h1 = (std::uint32_t)d1 & 0x3ffffff;
+    d2 += c;
+    c = (std::uint32_t)(d2 >> 26);
+    h2 = (std::uint32_t)d2 & 0x3ffffff;
+    d3 += c;
+    c = (std::uint32_t)(d3 >> 26);
+    h3 = (std::uint32_t)d3 & 0x3ffffff;
+    d4 += c;
+    c = (std::uint32_t)(d4 >> 26);
+    h4 = (std::uint32_t)d4 & 0x3ffffff;
+    h0 += c * 5;
+    c = h0 >> 26;
+    h0 &= 0x3ffffff;
+    h1 += c;
+
+    data += 16;
+    len -= 16;
+  }
+  h_[0] = h0;
+  h_[1] = h1;
+  h_[2] = h2;
+  h_[3] = h3;
+  h_[4] = h4;
+}
+
+void Poly1305::update(util::ByteView data) {
+  std::size_t off = 0;
+  if (buf_len_ > 0) {
+    std::size_t take = std::min<std::size_t>(16 - buf_len_, data.size());
+    std::memcpy(buf_ + buf_len_, data.data(), take);
+    buf_len_ += take;
+    off = take;
+    if (buf_len_ == 16) {
+      blocks(buf_, 16, 1u << 24);
+      buf_len_ = 0;
+    }
+  }
+  std::size_t full = (data.size() - off) & ~static_cast<std::size_t>(15);
+  if (full > 0) {
+    blocks(data.data() + off, full, 1u << 24);
+    off += full;
+  }
+  if (off < data.size()) {
+    std::memcpy(buf_, data.data() + off, data.size() - off);
+    buf_len_ = data.size() - off;
+  }
+}
+
+PolyTag Poly1305::finish() {
+  if (buf_len_ > 0) {
+    // final partial block: append 0x01 then zeros, no hibit
+    std::uint8_t block[16] = {0};
+    std::memcpy(block, buf_, buf_len_);
+    block[buf_len_] = 1;
+    blocks(block, 16, 0);
+    buf_len_ = 0;
+  }
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+  std::uint32_t c;
+  c = h1 >> 26;
+  h1 &= 0x3ffffff;
+  h2 += c;
+  c = h2 >> 26;
+  h2 &= 0x3ffffff;
+  h3 += c;
+  c = h3 >> 26;
+  h3 &= 0x3ffffff;
+  h4 += c;
+  c = h4 >> 26;
+  h4 &= 0x3ffffff;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= 0x3ffffff;
+  h1 += c;
+
+  // compute h + -p
+  std::uint32_t g0 = h0 + 5;
+  c = g0 >> 26;
+  g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c;
+  c = g1 >> 26;
+  g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c;
+  c = g2 >> 26;
+  g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c;
+  c = g3 >> 26;
+  g3 &= 0x3ffffff;
+  std::uint32_t g4 = h4 + c - (1u << 26);
+
+  // select h if h < p, or h - p if h >= p
+  std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if g4 did not underflow
+  g0 &= mask;
+  g1 &= mask;
+  g2 &= mask;
+  g3 &= mask;
+  g4 &= mask;
+  mask = ~mask;
+  h0 = (h0 & mask) | g0;
+  h1 = (h1 & mask) | g1;
+  h2 = (h2 & mask) | g2;
+  h3 = (h3 & mask) | g3;
+  h4 = (h4 & mask) | g4;
+
+  // h = h % 2^128 as 4 32-bit words
+  h0 = (h0 | (h1 << 26)) & 0xffffffff;
+  h1 = ((h1 >> 6) | (h2 << 20)) & 0xffffffff;
+  h2 = ((h2 >> 12) | (h3 << 14)) & 0xffffffff;
+  h3 = ((h3 >> 18) | (h4 << 8)) & 0xffffffff;
+
+  // tag = (h + pad) % 2^128
+  std::uint64_t f;
+  f = (std::uint64_t)h0 + pad_[0];
+  h0 = (std::uint32_t)f;
+  f = (std::uint64_t)h1 + pad_[1] + (f >> 32);
+  h1 = (std::uint32_t)f;
+  f = (std::uint64_t)h2 + pad_[2] + (f >> 32);
+  h2 = (std::uint32_t)f;
+  f = (std::uint64_t)h3 + pad_[3] + (f >> 32);
+  h3 = (std::uint32_t)f;
+
+  PolyTag tag;
+  util::store32_le(tag.data() + 0, h0);
+  util::store32_le(tag.data() + 4, h1);
+  util::store32_le(tag.data() + 8, h2);
+  util::store32_le(tag.data() + 12, h3);
+  return tag;
+}
+
+PolyTag Poly1305::mac(const std::uint8_t key[kPolyKeySize], util::ByteView data) {
+  Poly1305 p(key);
+  p.update(data);
+  return p.finish();
+}
+
+}  // namespace sos::crypto

@@ -1,0 +1,34 @@
+// Poly1305 one-time authenticator (RFC 8439), 32-bit limb implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sos::crypto {
+
+constexpr std::size_t kPolyKeySize = 32;
+constexpr std::size_t kPolyTagSize = 16;
+
+using PolyTag = std::array<std::uint8_t, kPolyTagSize>;
+
+class Poly1305 {
+ public:
+  explicit Poly1305(const std::uint8_t key[kPolyKeySize]);
+  void update(util::ByteView data);
+  PolyTag finish();
+
+  static PolyTag mac(const std::uint8_t key[kPolyKeySize], util::ByteView data);
+
+ private:
+  void blocks(const std::uint8_t* data, std::size_t len, std::uint32_t hibit);
+
+  std::uint32_t r_[5];
+  std::uint32_t h_[5];
+  std::uint32_t pad_[4];
+  std::uint8_t buf_[16];
+  std::size_t buf_len_ = 0;
+};
+
+}  // namespace sos::crypto

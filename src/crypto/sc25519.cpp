@@ -1,0 +1,127 @@
+#include "crypto/sc25519.hpp"
+
+#include <cstring>
+
+namespace sos::crypto {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// L in 64-bit little-endian limbs.
+constexpr u64 kL[4] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL, 0x0000000000000000ULL,
+                       0x1000000000000000ULL};
+
+struct U512 {
+  u64 w[8] = {0};
+};
+
+struct U256 {
+  u64 w[4] = {0};
+};
+
+U512 load512(const std::uint8_t in[64]) {
+  U512 x;
+  for (int i = 0; i < 8; ++i) x.w[i] = sos::util::load64_le(in + 8 * i);
+  return x;
+}
+
+// r >= L ?
+bool geq_l(const U256& r) {
+  for (int i = 3; i >= 0; --i) {
+    if (r.w[i] > kL[i]) return true;
+    if (r.w[i] < kL[i]) return false;
+  }
+  return true;  // equal
+}
+
+void sub_l(U256& r) {
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 d = (u128)r.w[i] - kL[i] - borrow;
+    r.w[i] = (u64)d;
+    borrow = (d >> 64) & 1;  // 1 if borrowed
+  }
+}
+
+// Binary long division remainder: x mod L. 512 shift/compare/subtract steps.
+U256 mod_l(const U512& x) {
+  U256 r;
+  for (int bit = 511; bit >= 0; --bit) {
+    // r = (r << 1) | bit_of_x  -- r stays < 2L < 2^254 so no overflow
+    u64 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      u64 nc = r.w[i] >> 63;
+      r.w[i] = (r.w[i] << 1) | carry;
+      carry = nc;
+    }
+    r.w[0] |= (x.w[bit / 64] >> (bit % 64)) & 1;
+    if (geq_l(r)) sub_l(r);
+  }
+  return r;
+}
+
+Scalar store256(const U256& r) {
+  Scalar out;
+  for (int i = 0; i < 4; ++i) sos::util::store64_le(out.data() + 8 * i, r.w[i]);
+  return out;
+}
+
+U512 mul256(const Scalar& a, const Scalar& b) {
+  u64 aw[4], bw[4];
+  for (int i = 0; i < 4; ++i) {
+    aw[i] = sos::util::load64_le(a.data() + 8 * i);
+    bw[i] = sos::util::load64_le(b.data() + 8 * i);
+  }
+  U512 out;
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 cur = (u128)aw[i] * bw[j] + out.w[i + j] + carry;
+      out.w[i + j] = (u64)cur;
+      carry = cur >> 64;
+    }
+    out.w[i + 4] += (u64)carry;
+  }
+  return out;
+}
+
+void add_into(U512& x, const Scalar& c) {
+  u128 carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    u128 cur = (u128)x.w[i] + (i < 4 ? sos::util::load64_le(c.data() + 8 * i) : 0) + carry;
+    x.w[i] = (u64)cur;
+    carry = cur >> 64;
+  }
+}
+}  // namespace
+
+Scalar sc_reduce64(const std::uint8_t in[64]) {
+  return store256(mod_l(load512(in)));
+}
+
+Scalar sc_reduce32(const Scalar& in) {
+  std::uint8_t wide[64] = {0};
+  std::memcpy(wide, in.data(), 32);
+  return sc_reduce64(wide);
+}
+
+Scalar sc_muladd(const Scalar& a, const Scalar& b, const Scalar& c) {
+  U512 prod = mul256(a, b);
+  add_into(prod, c);
+  return store256(mod_l(prod));
+}
+
+bool sc_is_canonical(const Scalar& s) {
+  U256 r;
+  for (int i = 0; i < 4; ++i) r.w[i] = sos::util::load64_le(s.data() + 8 * i);
+  return !geq_l(r);
+}
+
+bool sc_is_zero(const Scalar& s) {
+  std::uint8_t acc = 0;
+  for (auto b : s) acc |= b;
+  return acc == 0;
+}
+
+}  // namespace sos::crypto

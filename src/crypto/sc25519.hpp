@@ -1,0 +1,30 @@
+// Arithmetic on Ed25519 scalars mod the group order
+// L = 2^252 + 27742317777372353535851937790883648493.
+// Simple 64-bit-limb bignum with binary long division: obviously correct and
+// fast enough for middleware workloads (signing is hash-dominated anyway).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sos::crypto {
+
+using Scalar = std::array<std::uint8_t, 32>;  // little-endian, < L when reduced
+
+/// Reduce a 64-byte little-endian value mod L.
+Scalar sc_reduce64(const std::uint8_t in[64]);
+
+/// Reduce a 32-byte little-endian value mod L.
+Scalar sc_reduce32(const Scalar& in);
+
+/// (a * b + c) mod L.
+Scalar sc_muladd(const Scalar& a, const Scalar& b, const Scalar& c);
+
+/// True iff the encoding is canonical (< L).
+bool sc_is_canonical(const Scalar& s);
+
+bool sc_is_zero(const Scalar& s);
+
+}  // namespace sos::crypto

@@ -1,0 +1,32 @@
+// SHA-256 (FIPS 180-4). Incremental and one-shot APIs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sos::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+  void update(util::ByteView data);
+  Digest finish();
+
+  static Digest hash(util::ByteView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint8_t buf_[kBlockSize];
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace sos::crypto

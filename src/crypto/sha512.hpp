@@ -1,0 +1,33 @@
+// SHA-512 (FIPS 180-4). Used by Ed25519 (RFC 8032) key expansion,
+// nonce derivation and the challenge hash.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sos::crypto {
+
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha512();
+  void update(util::ByteView data);
+  Digest finish();
+
+  static Digest hash(util::ByteView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint64_t h_[8];
+  std::uint8_t buf_[kBlockSize];
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace sos::crypto

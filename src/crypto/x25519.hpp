@@ -1,0 +1,25 @@
+// X25519 Diffie-Hellman (RFC 7748). Session-key agreement for the SOS
+// ad hoc manager's encrypted D2D connections.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sos::crypto {
+
+constexpr std::size_t kX25519KeySize = 32;
+
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// scalar * point (u-coordinate Montgomery ladder).
+X25519Key x25519(const X25519Key& scalar, const X25519Key& point);
+
+/// scalar * base point (u = 9).
+X25519Key x25519_base(const X25519Key& scalar);
+
+/// Clamp a random 32-byte string into a valid X25519 private scalar.
+X25519Key x25519_clamp(X25519Key scalar);
+
+}  // namespace sos::crypto

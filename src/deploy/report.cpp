@@ -1,0 +1,65 @@
+#include "deploy/report.hpp"
+
+#include <cstdio>
+
+namespace sos::deploy {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("| ");
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      std::printf("%-*s | ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  auto print_sep = [&] {
+    std::printf("+");
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      for (std::size_t i = 0; i < widths[c] + 3; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_pct(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, v * 100.0);
+  return buf;
+}
+
+std::vector<std::string> compare_row(const std::string& metric, double paper, double measured,
+                                     int decimals) {
+  return {metric, fmt(paper, decimals), fmt(measured, decimals)};
+}
+
+void print_heading(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace sos::deploy

@@ -1,0 +1,31 @@
+// Plain-text report helpers: aligned tables and paper-vs-measured rows for
+// the figure-regeneration benches and EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sos::deploy {
+
+/// Fixed-width table printer (stdout).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double v, int decimals = 3);
+std::string fmt_pct(double v, int decimals = 1);
+
+/// "paper vs measured" convenience row.
+std::vector<std::string> compare_row(const std::string& metric, double paper, double measured,
+                                     int decimals = 2);
+
+void print_heading(const std::string& title);
+
+}  // namespace sos::deploy

@@ -1,0 +1,183 @@
+#include "deploy/scenario.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "alleyoop/app.hpp"
+#include "crypto/drbg.hpp"
+#include "graph/generators.hpp"
+#include "pki/bootstrap.hpp"
+#include "sim/multipeer.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace sos::deploy {
+
+ScenarioConfig gainesville_config(const std::string& scheme, std::uint64_t seed) {
+  ScenarioConfig config;
+  config.scheme = scheme;
+  config.seed = seed;
+  return config;
+}
+
+namespace {
+/// Per-node posting times: Poisson within the daily waking window, scaled
+/// so the expected total across nodes matches total_posts_target.
+std::vector<util::SimTime> posting_times(const ScenarioConfig& config, util::Rng& rng) {
+  double horizon = util::days(config.days);
+  double window = util::hours(config.post_window_end_h - config.post_window_start_h);
+  double active_total = window * config.days;
+  double per_node = config.total_posts_target / static_cast<double>(config.nodes);
+  double rate = per_node / active_total;  // posts per active second
+
+  std::vector<util::SimTime> times;
+  util::SimTime t = util::hours(config.post_window_start_h);
+  while (t < horizon) {
+    t += rng.exponential(1.0 / rate);
+    double tod = util::time_of_day(t);
+    if (tod < util::hours(config.post_window_start_h)) {
+      t += util::hours(config.post_window_start_h) - tod;
+      continue;
+    }
+    if (tod > util::hours(config.post_window_end_h)) {
+      // Jump to the next morning's window.
+      t += util::days(1) - tod + util::hours(config.post_window_start_h);
+      continue;
+    }
+    if (t < horizon) times.push_back(t);
+  }
+  return times;
+}
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  sim::Scheduler sched;
+  util::Rng rng(config.seed);
+  double horizon = util::days(config.days);
+
+  // --- mobility + radio ----------------------------------------------------
+  sim::DailyRoutineParams mobility_params = config.mobility;
+  mobility_params.area = {config.area_w_m, config.area_h_m};
+  util::Rng mobility_rng = rng.fork();
+  auto mobility = sim::daily_routine(config.nodes, horizon, mobility_params, mobility_rng);
+
+  sim::MpcNetwork net(sched, config.nodes, config.radio);
+  sim::EncounterDetector detector(sched, *mobility, config.radio.range_m,
+                                  config.encounter_tick_s);
+  detector.on_contact_start = [&](std::size_t a, std::size_t b) {
+    net.set_in_range(static_cast<sim::PeerId>(a), static_cast<sim::PeerId>(b), true);
+  };
+  detector.on_contact_end = [&](std::size_t a, std::size_t b) {
+    net.set_in_range(static_cast<sim::PeerId>(a), static_cast<sim::PeerId>(b), false);
+  };
+  detector.start(horizon);
+
+  // --- users: Fig 2a bootstrap, SOS node, AlleyOop app ---------------------
+  pki::BootstrapService infra(
+      util::concat(util::to_bytes("scenario-infra-"),
+                   util::Bytes{static_cast<std::uint8_t>(config.seed)}));
+  std::vector<std::unique_ptr<mw::SosNode>> nodes;
+  std::vector<std::unique_ptr<alleyoop::App>> apps;
+  alleyoop::CloudService cloud;
+
+  ScenarioResult result;
+  MetricsOracle& oracle = result.oracle;
+
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    crypto::Drbg device(util::concat(util::to_bytes("device-" + std::to_string(i) + "-seed-"),
+                                     util::Bytes{static_cast<std::uint8_t>(config.seed)}));
+    auto creds = infra.signup("user" + std::to_string(i), device, sched.now());
+    mw::SosConfig mw_config;
+    mw_config.scheme = config.scheme;
+    nodes.push_back(std::make_unique<mw::SosNode>(
+        sched, net.endpoint(static_cast<sim::PeerId>(i)), std::move(*creds), mw_config));
+    apps.push_back(std::make_unique<alleyoop::App>(*nodes.back(), &cloud));
+  }
+
+  // --- social graph (subscriptions) -----------------------------------------
+  graph::Digraph social;
+  if (config.social) {
+    social = *config.social;
+  } else if (config.nodes == 10) {
+    social = graph::baker2017_social_graph();
+  } else {
+    util::Rng graph_rng = rng.fork();
+    // Density in the ballpark of the deployment's 0.64 undirected density.
+    social = graph::social_community(config.nodes, 0.38, 0.35, graph_rng);
+  }
+  result.social = social;
+
+  std::map<pki::UserId, std::set<pki::UserId>> follows;
+  for (auto [i, j] : social.edges()) {
+    apps[i]->follow(nodes[j]->user_id());
+    follows[nodes[i]->user_id()].insert(nodes[j]->user_id());
+  }
+  oracle.set_subscriptions(follows);
+
+  // --- instrumentation --------------------------------------------------------
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    mw::SosNode& node = *nodes[i];
+    std::size_t idx = i;
+    node.on_carry = [&, idx](const bundle::Bundle& b) {
+      oracle.record_carry(
+          {b.id(), nodes[idx]->user_id(), sched.now(), mobility->position(idx, sched.now())});
+    };
+    node.on_data = [&, idx](const bundle::Bundle& b, const pki::Certificate&) {
+      oracle.record_delivery({b.id(), nodes[idx]->user_id(), sched.now(), b.hop_count,
+                              mobility->position(idx, sched.now())});
+    };
+    node.start();
+  }
+
+  // --- posting workload ---------------------------------------------------------
+  util::Rng workload_rng = rng.fork();
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    std::size_t idx = i;
+    int k = 0;
+    for (util::SimTime t : posting_times(config, workload_rng)) {
+      ++k;
+      sched.schedule_at(t, [&, idx, k] {
+        auto post = apps[idx]->post("post #" + std::to_string(k) + " by user" +
+                                    std::to_string(idx));
+        oracle.record_post({{nodes[idx]->user_id(), post.msg_num},
+                            nodes[idx]->user_id(),
+                            sched.now(),
+                            mobility->position(idx, sched.now())});
+      });
+    }
+  }
+
+  // --- run ------------------------------------------------------------------------
+  sched.run_until(horizon);
+
+  // --- collect ----------------------------------------------------------------------
+  for (const auto& node : nodes) {
+    const mw::NodeStats& s = node->stats();
+    result.totals.sessions_established += s.sessions_established;
+    result.totals.sessions_lost += s.sessions_lost;
+    result.totals.handshake_cert_rejected += s.handshake_cert_rejected;
+    result.totals.handshake_sig_rejected += s.handshake_sig_rejected;
+    result.totals.frames_sent += s.frames_sent;
+    result.totals.frames_received += s.frames_received;
+    result.totals.decrypt_failures += s.decrypt_failures;
+    result.totals.malformed_frames += s.malformed_frames;
+    result.totals.bundles_sent += s.bundles_sent;
+    result.totals.bundles_received += s.bundles_received;
+    result.totals.bundle_sig_rejected += s.bundle_sig_rejected;
+    result.totals.bundle_cert_rejected += s.bundle_cert_rejected;
+    result.totals.duplicates_ignored += s.duplicates_ignored;
+    result.totals.bundles_carried += s.bundles_carried;
+    result.totals.deliveries += s.deliveries;
+    result.totals.transfers_interrupted += s.transfers_interrupted;
+    result.totals.published += s.published;
+  }
+  result.contacts = detector.total_contacts_seen();
+  result.wire_frames = net.frames_sent();
+  result.wire_bytes = net.bytes_sent();
+  result.connections = net.connections_established();
+  result.frames_lost = net.frames_lost();
+  result.simulated_days = config.days;
+  return result;
+}
+
+}  // namespace sos::deploy

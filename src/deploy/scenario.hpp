@@ -1,0 +1,62 @@
+// Deployment scenario runner: assembles the whole stack — PKI bootstrap,
+// AlleyOop apps over SOS nodes, the MPC-like radio, daily-routine mobility
+// over the study area, a Poisson posting workload — and runs it under the
+// event scheduler. The default configuration reconstructs the Gainesville
+// study of §VI (10 users, ~11 km x 8 km, 7 days, 259 posts, the Fig 4a
+// social graph, IB routing); every knob is exposed for the ablations.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "deploy/oracle.hpp"
+#include "graph/digraph.hpp"
+#include "mw/stats.hpp"
+#include "sim/radio.hpp"
+
+namespace sos::deploy {
+
+struct ScenarioConfig {
+  std::size_t nodes = 10;
+  double area_w_m = 11000.0;           // ~11 km (paper)
+  double area_h_m = 8000.0;            // ~8 km
+  double days = 7.0;                   // TestFlight study length
+  std::string scheme = "interest";     // routing scheme under test
+  double total_posts_target = 259.0;   // paper: 259 unique messages
+  std::uint64_t seed = 42;
+
+  sim::RadioParams radio{};            // 50 m range, p2p-WiFi-class link
+  sim::DailyRoutineParams mobility{};  // homes + campus hotspots + sleep
+  double encounter_tick_s = 30.0;
+
+  /// Social graph; node i follows node j iff edge (i, j). Defaults to the
+  /// reconstructed Fig 4a graph when nodes == 10, otherwise a sampled
+  /// campus community of matching density.
+  std::optional<graph::Digraph> social;
+
+  /// Posting concentrates in the late afternoon and evening (the usual
+  /// social-app activity peak, after the day's gatherings wind down).
+  double post_window_start_h = 18.5;
+  double post_window_end_h = 23.5;
+};
+
+struct ScenarioResult {
+  MetricsOracle oracle;
+  mw::NodeStats totals;                 // summed over all nodes
+  std::uint64_t contacts = 0;           // radio-range encounters
+  std::uint64_t wire_frames = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t frames_lost = 0;        // mid-transfer disconnects
+  graph::Digraph social;                // the graph actually used
+  double simulated_days = 0;
+};
+
+/// Build and run the scenario to completion.
+ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// The §VI configuration (defaults above) with the given scheme and seed.
+ScenarioConfig gainesville_config(const std::string& scheme = "interest",
+                                  std::uint64_t seed = 42);
+
+}  // namespace sos::deploy

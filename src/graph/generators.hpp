@@ -1,0 +1,39 @@
+// Graph generators: standard random models for the density ablations plus
+// the reconstructed AlleyOop deployment graph of Fig 4a.
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace sos::graph {
+
+/// G(n, p): each ordered pair gets an arc independently with probability p.
+Digraph erdos_renyi(std::size_t n, double p, util::Rng& rng);
+
+/// Symmetric Watts-Strogatz small world: ring lattice with k neighbors per
+/// side, each edge rewired with probability beta. Returned as a symmetric
+/// digraph (both arcs present).
+Digraph watts_strogatz(std::size_t n, std::size_t k, double beta, util::Rng& rng);
+
+/// Fully connected symmetric graph.
+Digraph complete(std::size_t n);
+
+Digraph star(std::size_t n);    // node 0 center, symmetric
+Digraph path(std::size_t n);    // 0-1-2-...-n-1, symmetric
+Digraph cycle(std::size_t n);   // symmetric ring
+
+/// The reconstructed Fig 4a social-relationship digraph of the Gainesville
+/// deployment (10 nodes, 46 follow arcs over 29 undirected pairs).
+///
+/// Constraints taken from the paper: undirected density 0.64, diameter 2,
+/// radius 1 with centers {6,7} (1-indexed), average shortest path ~1.3,
+/// transitivity ~0.80, 46 total subscriptions, and the example that user 1
+/// follows user 3 but not vice versa. Nodes here are 0-indexed: paper node
+/// k = our node k-1 (centers are ids 5 and 6).
+Digraph baker2017_social_graph();
+
+/// Directed follow graph sampled to look like a small campus community:
+/// symmetric core (mutual friends) plus one-way follows.
+Digraph social_community(std::size_t n, double mutual_p, double oneway_p, util::Rng& rng);
+
+}  // namespace sos::graph

@@ -1,0 +1,117 @@
+#include "graph/metrics.hpp"
+
+#include <deque>
+
+namespace sos::graph {
+
+std::vector<std::size_t> shortest_paths_from(const Digraph& g, NodeId src) {
+  std::vector<std::size_t> dist(g.node_count(), kUnreachable);
+  if (src >= g.node_count()) return dist;
+  std::deque<NodeId> queue{src};
+  dist[src] = 0;
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    for (NodeId w : g.out_neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<std::size_t>> all_pairs_shortest_paths(const Digraph& g) {
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) out.push_back(shortest_paths_from(g, v));
+  return out;
+}
+
+double average_shortest_path_length(const Digraph& g) {
+  auto d = all_pairs_shortest_paths(g);
+  double sum = 0;
+  std::size_t pairs = 0;
+  for (NodeId i = 0; i < g.node_count(); ++i)
+    for (NodeId j = i + 1; j < g.node_count(); ++j)
+      if (d[i][j] != kUnreachable) {
+        sum += static_cast<double>(d[i][j]);
+        ++pairs;
+      }
+  return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
+}
+
+std::size_t diameter(const Digraph& g) {
+  auto d = all_pairs_shortest_paths(g);
+  std::size_t best = 0;
+  for (NodeId i = 0; i < g.node_count(); ++i)
+    for (NodeId j = 0; j < g.node_count(); ++j)
+      if (i != j && d[i][j] != kUnreachable && d[i][j] > best) best = d[i][j];
+  return best;
+}
+
+std::size_t eccentricity(const Digraph& g, NodeId v) {
+  auto d = shortest_paths_from(g, v);
+  std::size_t best = 0;
+  for (NodeId j = 0; j < g.node_count(); ++j)
+    if (j != v && d[j] != kUnreachable && d[j] > best) best = d[j];
+  return best;
+}
+
+std::size_t radius(const Digraph& g) {
+  std::size_t best = kUnreachable;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::size_t e = eccentricity(g, v);
+    if (e < best) best = e;
+  }
+  return best == kUnreachable ? 0 : best;
+}
+
+std::vector<NodeId> center(const Digraph& g) {
+  std::size_t r = radius(g);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (eccentricity(g, v) == r) out.push_back(v);
+  return out;
+}
+
+std::size_t triangle_count(const Digraph& g) {
+  Digraph u = g.undirected();
+  std::size_t count = 0;
+  for (NodeId i = 0; i < u.node_count(); ++i)
+    for (NodeId j : u.out_neighbors(i)) {
+      if (j <= i) continue;
+      for (NodeId k : u.out_neighbors(j)) {
+        if (k <= j) continue;
+        if (u.has_edge(i, k)) ++count;
+      }
+    }
+  return count;
+}
+
+std::size_t connected_triad_count(const Digraph& g) {
+  Digraph u = g.undirected();
+  std::size_t count = 0;
+  for (NodeId v = 0; v < u.node_count(); ++v) {
+    std::size_t d = u.out_degree(v);
+    count += d * (d - 1) / 2;
+  }
+  return count;
+}
+
+double transitivity(const Digraph& g) {
+  std::size_t triads = connected_triad_count(g);
+  if (triads == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangle_count(g)) / static_cast<double>(triads);
+}
+
+bool is_connected(const Digraph& g) {
+  if (g.node_count() == 0) return false;
+  auto d = shortest_paths_from(g.undirected(), 0);
+  for (std::size_t x : d)
+    if (x == kUnreachable) return false;
+  return true;
+}
+
+}  // namespace sos::graph

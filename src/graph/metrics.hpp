@@ -1,0 +1,50 @@
+// Graph metrics used in the paper's §VI-A social-relationship analysis:
+// shortest paths, average path length, diameter, radius/eccentricity/center,
+// transitivity (3 * triangles / connected triads).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sos::graph {
+
+constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
+
+/// BFS hop distances from `src` following out-edges. kUnreachable if none.
+std::vector<std::size_t> shortest_paths_from(const Digraph& g, NodeId src);
+
+/// All-pairs hop distance matrix (n x n, row = source).
+std::vector<std::vector<std::size_t>> all_pairs_shortest_paths(const Digraph& g);
+
+/// Average over unordered reachable pairs i<j of l(i,j) — the paper's
+/// sum_{i>=j} l(i,j) / (n(n-1)/2). Infinite pairs are skipped.
+double average_shortest_path_length(const Digraph& g);
+
+/// max over reachable pairs of l(i,j); 0 for empty graphs.
+std::size_t diameter(const Digraph& g);
+
+/// Eccentricity of v: max distance from v to any reachable node.
+std::size_t eccentricity(const Digraph& g, NodeId v);
+
+/// min over nodes of eccentricity.
+std::size_t radius(const Digraph& g);
+
+/// Nodes whose eccentricity equals the radius.
+std::vector<NodeId> center(const Digraph& g);
+
+/// Number of triangles (on the undirected closure of g).
+std::size_t triangle_count(const Digraph& g);
+
+/// Number of connected triads: paths of length two, sum_v C(deg(v), 2),
+/// on the undirected closure.
+std::size_t connected_triad_count(const Digraph& g);
+
+/// Network transitivity T = 3 * triangles / triads (paper §VI-A).
+double transitivity(const Digraph& g);
+
+/// True if the undirected closure is connected (and non-empty).
+bool is_connected(const Digraph& g);
+
+}  // namespace sos::graph

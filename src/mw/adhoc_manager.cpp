@@ -1,0 +1,250 @@
+#include "mw/adhoc_manager.hpp"
+
+#include <cstring>
+
+#include "crypto/aead.hpp"
+#include "crypto/hkdf.hpp"
+#include "crypto/x25519.hpp"
+#include "util/log.hpp"
+
+namespace sos::mw {
+
+namespace {
+// Outer wire byte: distinguishes the plaintext Hello from sealed traffic.
+constexpr std::uint8_t kOuterHello = 1;
+constexpr std::uint8_t kOuterSealed = 2;
+
+void make_nonce(std::uint8_t nonce[12], std::uint64_t counter) {
+  std::memset(nonce, 0, 12);
+  util::store64_le(nonce, counter);
+}
+}  // namespace
+
+AdHocManager::AdHocManager(sim::Scheduler& sched, sim::MpcEndpoint& endpoint,
+                           const pki::DeviceCredentials& creds, NodeStats& stats)
+    : sched_(sched),
+      endpoint_(endpoint),
+      creds_(creds),
+      stats_(stats),
+      session_rng_(util::concat(util::to_bytes("session-rng-"), creds.user_id.view())) {
+  endpoint_.on_peer_found = [this](sim::PeerId peer, const sim::DiscoveryInfo& info) {
+    if (!on_peer_advert) return;
+    std::map<pki::UserId, std::uint32_t> parsed;
+    for (const auto& [key, value] : info) {
+      auto uid = pki::UserId::from_string(key);
+      if (!uid) continue;  // foreign advertisement, not ours
+      parsed[*uid] = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    }
+    on_peer_advert(peer, parsed);
+  };
+  endpoint_.on_peer_lost = [this](sim::PeerId peer) {
+    if (on_peer_gone) on_peer_gone(peer);
+  };
+  endpoint_.on_connected = [this](sim::PeerId peer) { handle_connected(peer); };
+  endpoint_.on_disconnected = [this](sim::PeerId peer) {
+    auto it = sessions_.find(peer);
+    bool was_secure = it != sessions_.end() && it->second.secure;
+    sessions_.erase(peer);
+    if (was_secure) {
+      ++stats_.sessions_lost;
+      if (on_session_down) on_session_down(peer);
+    }
+  };
+  endpoint_.on_receive = [this](sim::PeerId peer, util::Bytes data) {
+    handle_receive(peer, std::move(data));
+  };
+}
+
+void AdHocManager::start() {
+  endpoint_.start_advertising({});
+  endpoint_.start_browsing();
+}
+
+sim::DiscoveryInfo AdHocManager::to_discovery_info(
+    const std::map<pki::UserId, std::uint32_t>& entries) {
+  sim::DiscoveryInfo info;
+  for (const auto& [uid, num] : entries) info[uid.to_string()] = std::to_string(num);
+  return info;
+}
+
+void AdHocManager::set_advertisement(const std::map<pki::UserId, std::uint32_t>& entries) {
+  endpoint_.update_discovery_info(to_discovery_info(entries));
+}
+
+void AdHocManager::connect(sim::PeerId peer) {
+  if (endpoint_.is_connected(peer)) return;
+  endpoint_.invite(peer);
+}
+
+void AdHocManager::disconnect(sim::PeerId peer) {
+  endpoint_.disconnect(peer);
+}
+
+bool AdHocManager::session_secure(sim::PeerId peer) const {
+  auto it = sessions_.find(peer);
+  return it != sessions_.end() && it->second.secure;
+}
+
+const pki::Certificate* AdHocManager::peer_certificate(sim::PeerId peer) const {
+  auto it = sessions_.find(peer);
+  return (it != sessions_.end() && it->second.secure) ? &it->second.peer_cert : nullptr;
+}
+
+std::vector<sim::PeerId> AdHocManager::secure_peers() const {
+  std::vector<sim::PeerId> out;
+  for (const auto& [peer, session] : sessions_)
+    if (session.secure) out.push_back(peer);
+  return out;
+}
+
+void AdHocManager::handle_connected(sim::PeerId peer) {
+  send_hello(peer);
+}
+
+void AdHocManager::send_hello(sim::PeerId peer) {
+  Session& s = sessions_[peer];
+  if (s.hello_sent) return;
+  s.eph_priv = crypto::x25519_clamp(session_rng_.generate_array<32>());
+  s.eph_pub = crypto::x25519_base(s.eph_priv);
+  s.hello_sent = true;
+
+  HelloFrame hello;
+  hello.certificate = creds_.certificate.encode();
+  hello.ephemeral_pub = s.eph_pub;
+  hello.binding_sig = creds_.signing_keypair.sign(hello.signing_bytes());
+
+  util::Bytes wire;
+  wire.push_back(kOuterHello);
+  util::append(wire, hello.encode());
+  ++stats_.frames_sent;
+  endpoint_.send(peer, std::move(wire));
+}
+
+void AdHocManager::handle_hello(sim::PeerId peer, util::ByteView payload) {
+  auto hello = HelloFrame::decode(payload);
+  if (!hello) {
+    ++stats_.malformed_frames;
+    return;
+  }
+  auto cert = pki::Certificate::decode(hello->certificate);
+  if (!cert) {
+    ++stats_.malformed_frames;
+    return;
+  }
+  // Certificate chain check against the pinned CA root (Fig 2b: "validate
+  // certificate").
+  if (creds_.trust.verify(*cert, sched_.now()) != pki::VerifyResult::Ok) {
+    ++stats_.handshake_cert_rejected;
+    endpoint_.disconnect(peer);
+    return;
+  }
+  // The ephemeral key must be signed by the certified identity key,
+  // otherwise an attacker could splice their own DH key into the session.
+  if (!crypto::ed25519_verify(cert->subject_key, hello->signing_bytes(), hello->binding_sig)) {
+    ++stats_.handshake_sig_rejected;
+    endpoint_.disconnect(peer);
+    return;
+  }
+
+  Session& s = sessions_[peer];
+  if (!s.hello_sent) send_hello(peer);
+  if (s.secure) return;  // duplicate hello
+
+  auto shared = crypto::x25519(s.eph_priv, hello->ephemeral_pub);
+  // Directional keys: the lexicographically smaller ephemeral key sends
+  // with the first half of the OKM.
+  bool mine_first =
+      std::memcmp(s.eph_pub.data(), hello->ephemeral_pub.data(), s.eph_pub.size()) < 0;
+  util::Bytes salt;
+  if (mine_first) {
+    salt = util::concat(s.eph_pub, hello->ephemeral_pub);
+  } else {
+    salt = util::concat(hello->ephemeral_pub, s.eph_pub);
+  }
+  auto okm = crypto::hkdf(salt, shared, util::to_bytes("sos-session-v1"), 64);
+  std::memcpy(s.send_key, okm.data() + (mine_first ? 0 : 32), 32);
+  std::memcpy(s.recv_key, okm.data() + (mine_first ? 32 : 0), 32);
+  s.send_ctr = 0;
+  s.recv_ctr = 0;
+  s.peer_cert = *cert;
+  s.secure = true;
+  ++stats_.sessions_established;
+  if (on_secure_session) on_secure_session(peer, s.peer_cert);
+}
+
+void AdHocManager::send_frame(sim::PeerId peer, FrameType type, util::ByteView payload) {
+  auto it = sessions_.find(peer);
+  if (it == sessions_.end() || !it->second.secure) return;
+  Session& s = it->second;
+
+  util::Bytes plain;
+  plain.push_back(static_cast<std::uint8_t>(type));
+  util::append(plain, payload);
+
+  std::uint8_t nonce[12];
+  make_nonce(nonce, s.send_ctr++);
+  auto sealed = crypto::aead_seal(s.send_key, nonce, util::to_bytes("sos-frame"), plain);
+
+  util::Bytes wire;
+  wire.push_back(kOuterSealed);
+  util::append(wire, sealed);
+  ++stats_.frames_sent;
+  endpoint_.send(peer, std::move(wire));
+}
+
+void AdHocManager::handle_receive(sim::PeerId peer, util::Bytes wire) {
+  ++stats_.frames_received;
+  if (wire.empty()) {
+    ++stats_.malformed_frames;
+    return;
+  }
+  std::uint8_t outer = wire[0];
+  util::ByteView body(wire.data() + 1, wire.size() - 1);
+  if (outer == kOuterHello) {
+    handle_hello(peer, body);
+    return;
+  }
+  if (outer != kOuterSealed) {
+    ++stats_.malformed_frames;
+    return;
+  }
+  auto it = sessions_.find(peer);
+  if (it == sessions_.end() || !it->second.secure) {
+    ++stats_.malformed_frames;  // sealed data before the handshake
+    return;
+  }
+  Session& s = it->second;
+  std::uint8_t nonce[12];
+  // The counter advances only on successful authentication: a corrupted or
+  // attacker-injected frame must not desynchronize the nonce sequence for
+  // the legitimate traffic behind it.
+  make_nonce(nonce, s.recv_ctr);
+  auto plain = crypto::aead_open(s.recv_key, nonce, util::to_bytes("sos-frame"), body);
+  if (!plain) {
+    ++stats_.decrypt_failures;
+    return;
+  }
+  ++s.recv_ctr;
+  if (plain->empty()) {
+    ++stats_.malformed_frames;
+    return;
+  }
+  auto type = static_cast<FrameType>((*plain)[0]);
+  util::Bytes payload(plain->begin() + 1, plain->end());
+  if (on_frame) on_frame(peer, type, std::move(payload));
+}
+
+bool AdHocManager::verify_bundle(const bundle::Bundle& b, const pki::Certificate& origin_cert) {
+  if (creds_.trust.verify_identity(origin_cert, b.origin, sched_.now()) !=
+      pki::VerifyResult::Ok) {
+    ++stats_.bundle_cert_rejected;
+    return false;
+  }
+  if (!b.verify(origin_cert.subject_key)) {
+    ++stats_.bundle_sig_rejected;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sos::mw

@@ -1,0 +1,126 @@
+#include "mw/message_manager.hpp"
+
+namespace sos::mw {
+
+MessageManager::MessageManager(AdHocManager& adhoc, NodeStats& stats,
+                               std::size_t store_capacity)
+    : adhoc_(adhoc), stats_(stats), store_(store_capacity) {
+  // Own certificate is always available to forward.
+  remember_certificate(adhoc_.credentials().certificate);
+
+  adhoc_.on_peer_advert = [this](sim::PeerId peer,
+                                 const std::map<pki::UserId, std::uint32_t>& advert) {
+    if (on_peer_advert) on_peer_advert(peer, advert);
+  };
+  adhoc_.on_secure_session = [this](sim::PeerId peer, const pki::Certificate& cert) {
+    session_users_[peer] = cert.subject_id;
+    remember_certificate(cert);
+    if (on_session_ready) on_session_ready(peer, cert.subject_id);
+  };
+  adhoc_.on_session_down = [this](sim::PeerId peer) {
+    session_users_.erase(peer);
+    auto it = sent_this_session_.find(peer);
+    if (it != sent_this_session_.end()) {
+      // The connection broke while this session had transfers: whatever the
+      // peer did not confirm through its next summary will be re-offered.
+      if (!it->second.empty()) ++stats_.transfers_interrupted;
+      sent_this_session_.erase(it);
+    }
+    if (on_session_down) on_session_down(peer);
+  };
+  adhoc_.on_frame = [this](sim::PeerId peer, FrameType type, util::Bytes payload) {
+    handle_frame(peer, type, std::move(payload));
+  };
+}
+
+void MessageManager::remember_certificate(const pki::Certificate& cert) {
+  cert_cache_[cert.subject_id] = cert;
+}
+
+const pki::Certificate* MessageManager::certificate_for(const pki::UserId& uid) const {
+  auto it = cert_cache_.find(uid);
+  return it == cert_cache_.end() ? nullptr : &it->second;
+}
+
+std::optional<pki::UserId> MessageManager::peer_user(sim::PeerId peer) const {
+  auto it = session_users_.find(peer);
+  if (it == session_users_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MessageManager::send_summary(sim::PeerId peer, const SummaryFrame& summary) {
+  adhoc_.send_frame(peer, FrameType::Summary, summary.encode());
+}
+
+void MessageManager::send_request(sim::PeerId peer, const RequestFrame& request) {
+  adhoc_.send_frame(peer, FrameType::Request, request.encode());
+}
+
+bool MessageManager::send_bundle(sim::PeerId peer, const bundle::Bundle& b,
+                                 std::uint32_t spray_copies) {
+  const pki::Certificate* cert = certificate_for(b.origin);
+  if (cert == nullptr) return false;
+  BundleDataFrame frame;
+  frame.bundle = b.encode();
+  frame.origin_cert = cert->encode();
+  frame.spray_copies = spray_copies;
+  adhoc_.send_frame(peer, FrameType::BundleData, frame.encode());
+  sent_this_session_[peer].insert(b.id());
+  ++stats_.bundles_sent;
+  return true;
+}
+
+bool MessageManager::already_sent(sim::PeerId peer, const bundle::BundleId& id) const {
+  auto it = sent_this_session_.find(peer);
+  return it != sent_this_session_.end() && it->second.count(id) > 0;
+}
+
+void MessageManager::handle_frame(sim::PeerId peer, FrameType type, util::Bytes payload) {
+  switch (type) {
+    case FrameType::Summary: {
+      auto f = SummaryFrame::decode(payload);
+      if (!f) {
+        ++stats_.malformed_frames;
+        return;
+      }
+      if (on_summary) on_summary(peer, *f);
+      return;
+    }
+    case FrameType::Request: {
+      auto f = RequestFrame::decode(payload);
+      if (!f) {
+        ++stats_.malformed_frames;
+        return;
+      }
+      if (on_request) on_request(peer, *f);
+      return;
+    }
+    case FrameType::BundleData: {
+      auto f = BundleDataFrame::decode(payload);
+      if (!f) {
+        ++stats_.malformed_frames;
+        return;
+      }
+      auto b = bundle::Bundle::decode(f->bundle);
+      auto cert = pki::Certificate::decode(f->origin_cert);
+      if (!b || !cert) {
+        ++stats_.malformed_frames;
+        return;
+      }
+      ++stats_.bundles_received;
+      // Security gate: certificate chain + identity binding + signature.
+      if (!adhoc_.verify_bundle(*b, *cert)) return;
+      remember_certificate(*cert);
+      if (on_bundle) on_bundle(peer, std::move(*b), *cert, f->spray_copies);
+      return;
+    }
+    case FrameType::Hello:
+      // Hello is consumed inside the ad hoc manager; seeing it here means a
+      // peer sealed a Hello inside the session — treat as malformed.
+      ++stats_.malformed_frames;
+      return;
+  }
+  ++stats_.malformed_frames;
+}
+
+}  // namespace sos::mw

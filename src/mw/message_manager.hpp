@@ -1,0 +1,70 @@
+// Message manager — the middle blue layer of Fig 1. It owns the bundle
+// store and the certificate cache, tracks which peers have live secure
+// sessions, translates wire frames to/from the structures the routing
+// layer consumes, and reacts to connection-state changes (a session drop
+// invalidates the per-session transfer bookkeeping, so the next encounter's
+// summary/request exchange resumes exactly where the transfer broke).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "bundle/store.hpp"
+#include "mw/adhoc_manager.hpp"
+#include "mw/stats.hpp"
+#include "mw/wire.hpp"
+
+namespace sos::mw {
+
+class MessageManager {
+ public:
+  MessageManager(AdHocManager& adhoc, NodeStats& stats, std::size_t store_capacity = 10000);
+
+  bundle::BundleStore& store() { return store_; }
+  const bundle::BundleStore& store() const { return store_; }
+
+  // --- certificate cache (Fig 3b: forwarders re-send origin certificates) --
+  void remember_certificate(const pki::Certificate& cert);
+  const pki::Certificate* certificate_for(const pki::UserId& uid) const;
+
+  // --- peer/session bookkeeping ------------------------------------------
+  /// Authenticated user id of a connected peer (nullopt before handshake).
+  std::optional<pki::UserId> peer_user(sim::PeerId peer) const;
+  std::vector<sim::PeerId> secure_peers() const { return adhoc_.secure_peers(); }
+
+  // --- outbound operations (called by the routing manager) -----------------
+  void send_summary(sim::PeerId peer, const SummaryFrame& summary);
+  void send_request(sim::PeerId peer, const RequestFrame& request);
+  /// Ship one bundle with its origin certificate; no-op without the cert
+  /// (a forwarder that cannot prove provenance must not forward).
+  bool send_bundle(sim::PeerId peer, const bundle::Bundle& b, std::uint32_t spray_copies);
+  /// True if this bundle was already sent on the current session (avoids
+  /// duplicate transmission while co-located).
+  bool already_sent(sim::PeerId peer, const bundle::BundleId& id) const;
+
+  // --- callbacks up to the routing manager ---------------------------------
+  std::function<void(sim::PeerId, const std::map<pki::UserId, std::uint32_t>&)> on_peer_advert;
+  std::function<void(sim::PeerId, const pki::UserId&)> on_session_ready;
+  std::function<void(sim::PeerId)> on_session_down;
+  std::function<void(sim::PeerId, const SummaryFrame&)> on_summary;
+  std::function<void(sim::PeerId, const RequestFrame&)> on_request;
+  /// Verified bundle (certificate + signature already checked) + origin cert.
+  std::function<void(sim::PeerId, bundle::Bundle, const pki::Certificate&, std::uint32_t)>
+      on_bundle;
+
+  AdHocManager& adhoc() { return adhoc_; }
+
+ private:
+  void handle_frame(sim::PeerId peer, FrameType type, util::Bytes payload);
+
+  AdHocManager& adhoc_;
+  NodeStats& stats_;
+  bundle::BundleStore store_;
+  std::map<pki::UserId, pki::Certificate> cert_cache_;
+  std::map<sim::PeerId, pki::UserId> session_users_;
+  std::map<sim::PeerId, std::set<bundle::BundleId>> sent_this_session_;
+};
+
+}  // namespace sos::mw

@@ -1,0 +1,181 @@
+#include "mw/routing_manager.hpp"
+
+namespace sos::mw {
+
+RoutingManager::RoutingManager(sim::Scheduler& sched, MessageManager& msgs, NodeStats& stats,
+                               std::unique_ptr<RoutingScheme> scheme)
+    : sched_(sched), msgs_(msgs), stats_(stats), scheme_(std::move(scheme)) {
+  msgs_.on_peer_advert = [this](sim::PeerId peer,
+                                const std::map<pki::UserId, std::uint32_t>& advert) {
+    handle_advert(peer, advert);
+  };
+  msgs_.on_session_ready = [this](sim::PeerId peer, const pki::UserId& uid) {
+    handle_session_ready(peer, uid);
+  };
+  msgs_.on_session_down = [this](sim::PeerId peer) { peers_.erase(peer); };
+  msgs_.on_summary = [this](sim::PeerId peer, const SummaryFrame& s) { handle_summary(peer, s); };
+  msgs_.on_request = [this](sim::PeerId peer, const RequestFrame& r) { handle_request(peer, r); };
+  msgs_.on_bundle = [this](sim::PeerId peer, bundle::Bundle b, const pki::Certificate& cert,
+                           std::uint32_t copies) {
+    handle_bundle(peer, std::move(b), cert, copies);
+  };
+}
+
+void RoutingManager::set_scheme(std::unique_ptr<RoutingScheme> scheme) {
+  scheme_ = std::move(scheme);
+  refresh_advertisement();
+}
+
+void RoutingManager::follow(const pki::UserId& uid) {
+  subscriptions_.insert(uid);
+}
+
+void RoutingManager::unfollow(const pki::UserId& uid) {
+  subscriptions_.erase(uid);
+}
+
+RoutingContext RoutingManager::ctx() const {
+  return RoutingContext(msgs_.adhoc().credentials().user_id, subscriptions_, msgs_.store(),
+                        sched_.now());
+}
+
+void RoutingManager::publish(bundle::Bundle b) {
+  bundle::BundleId id = b.id();
+  msgs_.store().insert(std::move(b), sched_.now());
+  scheme_->on_published(id);
+  ++stats_.published;
+  refresh_advertisement();
+  push_summaries();
+}
+
+void RoutingManager::start(util::SimTime maintenance_interval) {
+  refresh_advertisement();
+  // A non-positive interval disables the periodic sweep (tests drain the
+  // event queue to quiescence and must not see self-rescheduling timers).
+  if (maintenance_interval > 0) {
+    sched_.schedule_in(maintenance_interval,
+                       [this, maintenance_interval] { maintenance_tick(maintenance_interval); });
+  }
+}
+
+void RoutingManager::maintenance_tick(util::SimTime interval) {
+  if (msgs_.store().expire(sched_.now()) > 0) refresh_advertisement();
+  sched_.schedule_in(interval, [this, interval] { maintenance_tick(interval); });
+}
+
+void RoutingManager::refresh_advertisement() {
+  msgs_.adhoc().set_advertisement(scheme_->advertisement(ctx()));
+}
+
+SummaryFrame RoutingManager::build_summary() {
+  SummaryFrame summary;
+  summary.entries = scheme_->advertisement(ctx());
+  for (const auto* stored : msgs_.store().all()) {
+    if (stored->bundle.is_unicast())
+      summary.unicast.push_back({stored->bundle.id(), stored->bundle.dest});
+  }
+  summary.scheme_blob = scheme_->summary_blob(ctx());
+  return summary;
+}
+
+void RoutingManager::push_summaries() {
+  // Coalesce: a burst of arrivals (a whole batch pulled from one peer)
+  // results in a single refreshed summary to each co-located peer, not one
+  // per bundle — without this, dense clusters gossip quadratically.
+  if (push_pending_) return;
+  push_pending_ = true;
+  sched_.schedule_in(push_debounce_s_, [this] {
+    push_pending_ = false;
+    for (sim::PeerId peer : msgs_.secure_peers()) msgs_.send_summary(peer, build_summary());
+  });
+}
+
+void RoutingManager::handle_advert(sim::PeerId peer,
+                                   const std::map<pki::UserId, std::uint32_t>& advert) {
+  if (scheme_->should_connect(ctx(), advert)) msgs_.adhoc().connect(peer);
+}
+
+void RoutingManager::handle_session_ready(sim::PeerId peer, const pki::UserId& uid) {
+  PeerView view;
+  view.uid = uid;
+  peers_[peer] = view;
+  scheme_->on_encounter(ctx(), uid);
+  msgs_.send_summary(peer, build_summary());
+}
+
+void RoutingManager::handle_summary(sim::PeerId peer, const SummaryFrame& summary) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return;  // summary before the session registered
+  it->second.summary = summary;
+  scheme_->on_peer_blob(it->second.uid, summary.scheme_blob);
+  RequestPlan plan = scheme_->plan_requests(ctx(), it->second);
+  if (plan.empty()) return;
+  RequestFrame req;
+  req.by_publisher = std::move(plan.by_publisher);
+  req.by_id = std::move(plan.by_id);
+  msgs_.send_request(peer, req);
+}
+
+void RoutingManager::handle_request(sim::PeerId peer, const RequestFrame& request) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  const PeerView& view = it->second;
+
+  std::vector<bundle::Bundle> to_send;
+  for (const auto& [uid, since] : request.by_publisher) {
+    for (auto& b : msgs_.store().newer_than(uid, since)) to_send.push_back(std::move(b));
+  }
+  for (const auto& id : request.by_id) {
+    auto b = msgs_.store().get(id);
+    if (b) to_send.push_back(std::move(*b));
+  }
+  for (const auto& b : to_send) {
+    if (msgs_.already_sent(peer, b.id())) continue;
+    if (!scheme_->may_send(ctx(), b, view)) continue;
+    std::uint32_t copies = scheme_->copies_to_send(ctx(), b, view);
+    if (msgs_.send_bundle(peer, b, copies)) scheme_->on_sent(ctx(), b, view);
+  }
+}
+
+bool RoutingManager::wanted_by_app(const bundle::Bundle& b) const {
+  const pki::UserId& self = msgs_.adhoc().credentials().user_id;
+  if (b.is_unicast()) return b.dest == self;
+  return subscriptions_.count(b.origin) > 0;
+}
+
+void RoutingManager::handle_bundle(sim::PeerId peer, bundle::Bundle b,
+                                   const pki::Certificate& origin_cert,
+                                   std::uint32_t spray_copies) {
+  (void)peer;
+  if (b.expired(sched_.now())) return;
+  // One D2D hop completed.
+  if (b.hop_count < 255) ++b.hop_count;
+
+  bundle::BundleId id = b.id();
+  bool deliver = wanted_by_app(b);
+  bool carry = scheme_->should_carry(ctx(), b) || deliver;
+  if (!carry) return;
+
+  bool fresh = msgs_.store().insert(std::move(b), sched_.now());
+  if (!fresh) {
+    ++stats_.duplicates_ignored;
+    return;
+  }
+  ++stats_.bundles_carried;
+  scheme_->on_received_copies(id, spray_copies);
+  if (on_carry) {
+    auto stored = msgs_.store().get(id);
+    if (stored) on_carry(*stored);
+  }
+  if (deliver) {
+    ++stats_.deliveries;
+    if (on_deliver) {
+      auto stored = msgs_.store().get(id);
+      if (stored) on_deliver(*stored, origin_cert);
+    }
+  }
+  refresh_advertisement();
+  push_summaries();  // co-located peers learn about the new bundle now
+}
+
+}  // namespace sos::mw

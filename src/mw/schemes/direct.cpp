@@ -1,0 +1,52 @@
+#include "mw/schemes/direct.hpp"
+
+namespace sos::mw {
+
+std::map<pki::UserId, std::uint32_t> DirectDeliveryScheme::advertisement(
+    const RoutingContext& ctx) {
+  // Serve only self-authored content (plus destination-keyed entries for
+  // own unsent direct messages).
+  std::map<pki::UserId, std::uint32_t> out;
+  auto summary = ctx.store().summary();
+  auto it = summary.find(ctx.self());
+  if (it != summary.end()) out.insert(*it);
+  RoutingContext::merge_max(out, ctx.unicast_dest_summary());
+  return out;
+}
+
+bool DirectDeliveryScheme::should_connect(
+    const RoutingContext& ctx, const std::map<pki::UserId, std::uint32_t>& advertised) {
+  for (const auto& [uid, num] : advertised) {
+    if (ctx.subscribed_to(uid) && num > ctx.max_held(uid)) return true;
+    if (uid == ctx.self()) return true;  // mail waiting for this user
+  }
+  return false;
+}
+
+RequestPlan DirectDeliveryScheme::plan_requests(const RoutingContext& ctx,
+                                                const PeerView& peer) {
+  RequestPlan plan;
+  // Only fetch the peer's own posts, and only if this user follows them.
+  auto it = peer.summary.entries.find(peer.uid);
+  if (it != peer.summary.entries.end() && ctx.subscribed_to(peer.uid)) {
+    std::uint32_t held = ctx.max_held(peer.uid);
+    if (it->second > held) plan.by_publisher.emplace_back(peer.uid, held);
+  }
+  for (const auto& u : peer.summary.unicast)
+    if (u.dest == ctx.self() && u.id.origin == peer.uid && !ctx.store().contains(u.id))
+      plan.by_id.push_back(u.id);
+  return plan;
+}
+
+bool DirectDeliveryScheme::may_send(const RoutingContext& ctx, const bundle::Bundle& b,
+                                    const PeerView& peer) {
+  if (b.origin != ctx.self()) return false;  // never forward others' data
+  if (b.is_unicast()) return b.dest == peer.uid;
+  return true;
+}
+
+bool DirectDeliveryScheme::should_carry(const RoutingContext&, const bundle::Bundle&) {
+  return false;  // deliver-only; wanted bundles are stored by the manager
+}
+
+}  // namespace sos::mw

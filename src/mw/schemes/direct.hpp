@@ -1,0 +1,23 @@
+// Direct delivery: no relaying at all — subscribers fetch posts from the
+// publisher itself, and unicast travels only source -> destination. This is
+// the "1-hop" baseline the evaluation splits out in Fig 4c/4d.
+#pragma once
+
+#include "mw/routing.hpp"
+
+namespace sos::mw {
+
+class DirectDeliveryScheme : public RoutingScheme {
+ public:
+  std::string name() const override { return "direct"; }
+
+  std::map<pki::UserId, std::uint32_t> advertisement(const RoutingContext& ctx) override;
+  bool should_connect(const RoutingContext& ctx,
+                      const std::map<pki::UserId, std::uint32_t>& advertised) override;
+  RequestPlan plan_requests(const RoutingContext& ctx, const PeerView& peer) override;
+  bool may_send(const RoutingContext& ctx, const bundle::Bundle& b,
+                const PeerView& peer) override;
+  bool should_carry(const RoutingContext& ctx, const bundle::Bundle& b) override;
+};
+
+}  // namespace sos::mw

@@ -1,0 +1,23 @@
+// Epidemic routing (Vahdat & Becker 2000): gratuitous replication — pull
+// every message you do not yet hold from every node you meet, carry and
+// serve everything. One of the two schemes the paper ships in SOS.
+#pragma once
+
+#include "mw/routing.hpp"
+
+namespace sos::mw {
+
+class EpidemicScheme : public RoutingScheme {
+ public:
+  std::string name() const override { return "epidemic"; }
+
+  std::map<pki::UserId, std::uint32_t> advertisement(const RoutingContext& ctx) override;
+  bool should_connect(const RoutingContext& ctx,
+                      const std::map<pki::UserId, std::uint32_t>& advertised) override;
+  RequestPlan plan_requests(const RoutingContext& ctx, const PeerView& peer) override;
+  bool may_send(const RoutingContext& ctx, const bundle::Bundle& b,
+                const PeerView& peer) override;
+  bool should_carry(const RoutingContext& ctx, const bundle::Bundle& b) override;
+};
+
+}  // namespace sos::mw

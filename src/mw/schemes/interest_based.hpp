@@ -1,0 +1,26 @@
+// Interest-Based (IB) routing — the paper's second built-in scheme:
+// "operates in a similar manner to epidemic routing, except, instead of
+// propagating messages to all users, messages are only propagated to
+// interested users who are subscribed to the publisher of the original
+// message" (§III-B). A node becomes a forwarder for a publisher exactly
+// when it requests and receives that publisher's messages.
+#pragma once
+
+#include "mw/routing.hpp"
+
+namespace sos::mw {
+
+class InterestBasedScheme : public RoutingScheme {
+ public:
+  std::string name() const override { return "interest"; }
+
+  std::map<pki::UserId, std::uint32_t> advertisement(const RoutingContext& ctx) override;
+  bool should_connect(const RoutingContext& ctx,
+                      const std::map<pki::UserId, std::uint32_t>& advertised) override;
+  RequestPlan plan_requests(const RoutingContext& ctx, const PeerView& peer) override;
+  bool may_send(const RoutingContext& ctx, const bundle::Bundle& b,
+                const PeerView& peer) override;
+  bool should_carry(const RoutingContext& ctx, const bundle::Bundle& b) override;
+};
+
+}  // namespace sos::mw

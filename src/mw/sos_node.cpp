@@ -1,0 +1,119 @@
+#include "mw/sos_node.hpp"
+
+#include <cstring>
+
+#include "crypto/aead.hpp"
+#include "crypto/hkdf.hpp"
+#include "crypto/x25519.hpp"
+#include "mw/schemes/direct.hpp"
+#include "mw/schemes/epidemic.hpp"
+#include "mw/schemes/interest_based.hpp"
+#include "mw/schemes/prophet.hpp"
+#include "mw/schemes/spray_wait.hpp"
+
+namespace sos::mw {
+
+std::unique_ptr<RoutingScheme> make_scheme(const std::string& name) {
+  if (name == "epidemic") return std::make_unique<EpidemicScheme>();
+  if (name == "interest") return std::make_unique<InterestBasedScheme>();
+  if (name == "spray") return std::make_unique<SprayAndWaitScheme>();
+  if (name == "prophet") return std::make_unique<ProphetScheme>();
+  if (name == "direct") return std::make_unique<DirectDeliveryScheme>();
+  return nullptr;
+}
+
+SosNode::SosNode(sim::Scheduler& sched, sim::MpcEndpoint& endpoint, pki::DeviceCredentials creds,
+                 SosConfig config)
+    : sched_(sched), creds_(std::move(creds)), config_(std::move(config)) {
+  adhoc_ = std::make_unique<AdHocManager>(sched_, endpoint, creds_, stats_);
+  msgs_ = std::make_unique<MessageManager>(*adhoc_, stats_, config_.store_capacity);
+  auto scheme = make_scheme(config_.scheme);
+  if (!scheme) scheme = std::make_unique<InterestBasedScheme>();
+  routing_ = std::make_unique<RoutingManager>(sched_, *msgs_, stats_, std::move(scheme));
+  routing_->on_deliver = [this](const bundle::Bundle& b, const pki::Certificate& cert) {
+    if (on_data) on_data(b, cert);
+  };
+  routing_->on_carry = [this](const bundle::Bundle& b) {
+    if (on_carry) on_carry(b);
+  };
+}
+
+void SosNode::start() {
+  adhoc_->start();
+  routing_->start(config_.maintenance_interval_s);
+}
+
+bool SosNode::set_scheme(const std::string& name) {
+  auto scheme = make_scheme(name);
+  if (!scheme) return false;
+  routing_->set_scheme(std::move(scheme));
+  return true;
+}
+
+bundle::BundleId SosNode::publish(util::Bytes payload, bundle::ContentType type) {
+  bundle::Bundle b;
+  b.origin = creds_.user_id;
+  b.msg_num = next_msg_num_++;
+  b.creation_ts = sched_.now();
+  b.lifetime_s = config_.bundle_lifetime_s;
+  b.content = type;
+  b.payload = std::move(payload);
+  b.sign(creds_.signing_keypair);
+  bundle::BundleId id = b.id();
+  routing_->publish(std::move(b));
+  return id;
+}
+
+namespace {
+constexpr std::size_t kDmOverhead = crypto::kX25519KeySize + crypto::kAeadTagSize;
+
+util::Bytes derive_dm_key(const crypto::X25519Key& shared, const crypto::X25519Key& eph_pub,
+                          const crypto::X25519Key& dest_pub) {
+  auto salt = util::concat(eph_pub, dest_pub);
+  return crypto::hkdf(salt, shared, util::to_bytes("sos-dm-v1"), crypto::kAeadKeySize);
+}
+}  // namespace
+
+bundle::BundleId SosNode::send_direct(const pki::Certificate& dest_cert,
+                                      util::ByteView plaintext) {
+  // Ephemeral-static X25519: seal for the destination's certified key.
+  crypto::Drbg eph_rng(util::concat(util::to_bytes("dm-eph"), creds_.user_id.view(),
+                                    util::Bytes{static_cast<std::uint8_t>(next_msg_num_),
+                                                static_cast<std::uint8_t>(next_msg_num_ >> 8)}));
+  auto eph_priv = crypto::x25519_clamp(eph_rng.generate_array<32>());
+  auto eph_pub = crypto::x25519_base(eph_priv);
+  auto shared = crypto::x25519(eph_priv, dest_cert.subject_enc_key);
+  auto key = derive_dm_key(shared, eph_pub, dest_cert.subject_enc_key);
+
+  std::uint8_t nonce[crypto::kAeadNonceSize] = {0};
+  auto sealed = crypto::aead_seal(key.data(), nonce, util::to_bytes("sos-dm"), plaintext);
+
+  bundle::Bundle b;
+  b.origin = creds_.user_id;
+  b.msg_num = next_msg_num_++;
+  b.creation_ts = sched_.now();
+  b.lifetime_s = config_.bundle_lifetime_s;
+  b.content = bundle::ContentType::DirectMessage;
+  b.dest = dest_cert.subject_id;
+  b.payload = util::concat(eph_pub, sealed);
+  b.sign(creds_.signing_keypair);
+  bundle::BundleId id = b.id();
+  // Remember the destination certificate so it can be forwarded (Fig 3b).
+  msgs_->remember_certificate(dest_cert);
+  routing_->publish(std::move(b));
+  return id;
+}
+
+std::optional<util::Bytes> SosNode::open_direct(const bundle::Bundle& b) const {
+  if (!(b.dest == creds_.user_id)) return std::nullopt;
+  if (b.payload.size() < kDmOverhead) return std::nullopt;
+  crypto::X25519Key eph_pub{};
+  std::memcpy(eph_pub.data(), b.payload.data(), eph_pub.size());
+  auto shared = crypto::x25519(creds_.enc_private_key, eph_pub);
+  auto key = derive_dm_key(shared, eph_pub, creds_.enc_public_key);
+  std::uint8_t nonce[crypto::kAeadNonceSize] = {0};
+  util::ByteView sealed(b.payload.data() + eph_pub.size(), b.payload.size() - eph_pub.size());
+  return crypto::aead_open(key.data(), nonce, util::to_bytes("sos-dm"), sealed);
+}
+
+}  // namespace sos::mw

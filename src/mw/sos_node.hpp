@@ -1,0 +1,88 @@
+// SosNode — the public face of the SOS middleware. One instance runs inside
+// each mobile application (the paper's non-daemon design: no jailbreak, App
+// Store compliant), composing the three managers of Fig 1 behind a small
+// API: publish, follow, send encrypted direct messages, pick a routing
+// scheme, receive verified data.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mw/adhoc_manager.hpp"
+#include "mw/message_manager.hpp"
+#include "mw/routing_manager.hpp"
+#include "mw/stats.hpp"
+
+namespace sos::mw {
+
+struct SosConfig {
+  std::string scheme = "interest";       // "epidemic", "interest", "spray", "prophet", "direct"
+  std::uint32_t bundle_lifetime_s = 0;   // 0 = bundles never expire
+  std::size_t store_capacity = 10000;
+  util::SimTime maintenance_interval_s = 600.0;
+};
+
+class SosNode {
+ public:
+  SosNode(sim::Scheduler& sched, sim::MpcEndpoint& endpoint, pki::DeviceCredentials creds,
+          SosConfig config = {});
+
+  /// Begin advertising/browsing and periodic maintenance.
+  void start();
+
+  // --- application API ------------------------------------------------------
+  /// Publish a signed social post; returns its (origin, msg_num) id.
+  bundle::BundleId publish(util::Bytes payload,
+                           bundle::ContentType type = bundle::ContentType::SocialPost);
+
+  /// Send an end-to-end encrypted direct message. The payload is sealed for
+  /// the destination's certified X25519 key: forwarders authenticate the
+  /// bundle but cannot read it.
+  bundle::BundleId send_direct(const pki::Certificate& dest_cert, util::ByteView plaintext);
+
+  /// Decrypt a received direct message (bundle.dest must be this user).
+  std::optional<util::Bytes> open_direct(const bundle::Bundle& b) const;
+
+  void follow(const pki::UserId& uid) { routing_->follow(uid); }
+  void unfollow(const pki::UserId& uid) { routing_->unfollow(uid); }
+  const std::set<pki::UserId>& subscriptions() const { return routing_->subscriptions(); }
+
+  /// Swap the routing scheme by name; false for unknown names.
+  bool set_scheme(const std::string& name);
+  void set_scheme(std::unique_ptr<RoutingScheme> scheme) {
+    routing_->set_scheme(std::move(scheme));
+  }
+  const std::string scheme_name() { return routing_->scheme().name(); }
+
+  /// Verified bundle relevant to this user (followed publisher or unicast
+  /// to this user), exactly once per bundle.
+  std::function<void(const bundle::Bundle&, const pki::Certificate&)> on_data;
+
+  /// Every fresh verified bundle stored by this node, including relay
+  /// carries (metrics/instrumentation hook; mirrors routing().on_carry).
+  std::function<void(const bundle::Bundle&)> on_carry;
+
+  // --- introspection ----------------------------------------------------------
+  const pki::DeviceCredentials& credentials() const { return creds_; }
+  const pki::UserId& user_id() const { return creds_.user_id; }
+  /// Message number the next publish()/send_direct() will use.
+  std::uint32_t next_message_number() const { return next_msg_num_; }
+  const NodeStats& stats() const { return stats_; }
+  bundle::BundleStore& store() { return msgs_->store(); }
+  AdHocManager& adhoc() { return *adhoc_; }
+  MessageManager& messages() { return *msgs_; }
+  RoutingManager& routing() { return *routing_; }
+
+ private:
+  sim::Scheduler& sched_;
+  pki::DeviceCredentials creds_;
+  SosConfig config_;
+  NodeStats stats_;
+  std::unique_ptr<AdHocManager> adhoc_;
+  std::unique_ptr<MessageManager> msgs_;
+  std::unique_ptr<RoutingManager> routing_;
+  std::uint32_t next_msg_num_ = 1;
+};
+
+}  // namespace sos::mw

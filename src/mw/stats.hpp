@@ -1,0 +1,34 @@
+// Per-node counters surfaced by the middleware; the evaluation harness and
+// the security tests read these.
+#pragma once
+
+#include <cstdint>
+
+namespace sos::mw {
+
+struct NodeStats {
+  // ad hoc manager
+  std::uint64_t sessions_established = 0;
+  std::uint64_t sessions_lost = 0;
+  std::uint64_t handshake_cert_rejected = 0;   // invalid/revoked/expired cert
+  std::uint64_t handshake_sig_rejected = 0;    // bad ephemeral-key binding
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t decrypt_failures = 0;
+  std::uint64_t malformed_frames = 0;
+
+  // message manager / routing
+  std::uint64_t bundles_sent = 0;
+  std::uint64_t bundles_received = 0;
+  std::uint64_t bundle_sig_rejected = 0;
+  std::uint64_t bundle_cert_rejected = 0;
+  std::uint64_t duplicates_ignored = 0;
+  std::uint64_t bundles_carried = 0;       // stored for forwarding
+  std::uint64_t deliveries = 0;            // handed to the application
+  std::uint64_t transfers_interrupted = 0; // queue dropped with the session
+
+  // app layer
+  std::uint64_t published = 0;
+};
+
+}  // namespace sos::mw

@@ -1,0 +1,130 @@
+#include "mw/wire.hpp"
+
+#include "util/codec.hpp"
+
+namespace sos::mw {
+
+util::Bytes HelloFrame::signing_bytes() const {
+  util::Writer w;
+  w.str("sos-hello-v1");
+  w.raw(util::ByteView(ephemeral_pub.data(), ephemeral_pub.size()));
+  return w.take();
+}
+
+util::Bytes HelloFrame::encode() const {
+  util::Writer w;
+  w.bytes(certificate);
+  w.raw(util::ByteView(ephemeral_pub.data(), ephemeral_pub.size()));
+  w.raw(util::ByteView(binding_sig.data(), binding_sig.size()));
+  return w.take();
+}
+
+std::optional<HelloFrame> HelloFrame::decode(util::ByteView data) {
+  util::Reader r(data);
+  HelloFrame f;
+  f.certificate = r.bytes();
+  f.ephemeral_pub = r.raw_array<crypto::kX25519KeySize>();
+  f.binding_sig = r.raw_array<crypto::kEdSignatureSize>();
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+util::Bytes SummaryFrame::encode() const {
+  util::Writer w;
+  w.varint(entries.size());
+  for (const auto& [uid, num] : entries) {
+    w.raw(uid.view());
+    w.u32(num);
+  }
+  w.varint(unicast.size());
+  for (const auto& u : unicast) {
+    w.raw(u.id.origin.view());
+    w.u32(u.id.msg_num);
+    w.raw(u.dest.view());
+  }
+  w.bytes(scheme_blob);
+  return w.take();
+}
+
+std::optional<SummaryFrame> SummaryFrame::decode(util::ByteView data) {
+  util::Reader r(data);
+  SummaryFrame f;
+  std::uint64_t n = r.varint();
+  if (n > 1'000'000) return std::nullopt;
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    pki::UserId uid;
+    uid.bytes = r.raw_array<pki::kUserIdSize>();
+    std::uint32_t num = r.u32();
+    f.entries[uid] = num;
+  }
+  std::uint64_t m = r.varint();
+  if (m > 1'000'000) return std::nullopt;
+  for (std::uint64_t i = 0; i < m && r.ok(); ++i) {
+    UnicastEntry u;
+    u.id.origin.bytes = r.raw_array<pki::kUserIdSize>();
+    u.id.msg_num = r.u32();
+    u.dest.bytes = r.raw_array<pki::kUserIdSize>();
+    f.unicast.push_back(u);
+  }
+  f.scheme_blob = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+util::Bytes RequestFrame::encode() const {
+  util::Writer w;
+  w.varint(by_publisher.size());
+  for (const auto& [uid, since] : by_publisher) {
+    w.raw(uid.view());
+    w.u32(since);
+  }
+  w.varint(by_id.size());
+  for (const auto& id : by_id) {
+    w.raw(id.origin.view());
+    w.u32(id.msg_num);
+  }
+  return w.take();
+}
+
+std::optional<RequestFrame> RequestFrame::decode(util::ByteView data) {
+  util::Reader r(data);
+  RequestFrame f;
+  std::uint64_t n = r.varint();
+  if (n > 1'000'000) return std::nullopt;
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    pki::UserId uid;
+    uid.bytes = r.raw_array<pki::kUserIdSize>();
+    std::uint32_t since = r.u32();
+    f.by_publisher.emplace_back(uid, since);
+  }
+  std::uint64_t m = r.varint();
+  if (m > 1'000'000) return std::nullopt;
+  for (std::uint64_t i = 0; i < m && r.ok(); ++i) {
+    bundle::BundleId id;
+    id.origin.bytes = r.raw_array<pki::kUserIdSize>();
+    id.msg_num = r.u32();
+    f.by_id.push_back(id);
+  }
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+util::Bytes BundleDataFrame::encode() const {
+  util::Writer w;
+  w.bytes(bundle);
+  w.bytes(origin_cert);
+  w.u32(spray_copies);
+  return w.take();
+}
+
+std::optional<BundleDataFrame> BundleDataFrame::decode(util::ByteView data) {
+  util::Reader r(data);
+  BundleDataFrame f;
+  f.bundle = r.bytes();
+  f.origin_cert = r.bytes();
+  f.spray_copies = r.u32();
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+}  // namespace sos::mw

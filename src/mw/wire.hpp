@@ -1,0 +1,79 @@
+// Wire frames exchanged between two SOS middleware instances over a D2D
+// session. Only Hello travels in plain text (it carries the certificate
+// that bootstraps the encrypted channel, mirroring Fig 2b/3); every other
+// frame is sealed by the ad hoc manager's session AEAD.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bundle/bundle.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/x25519.hpp"
+#include "pki/certificate.hpp"
+#include "util/bytes.hpp"
+
+namespace sos::mw {
+
+enum class FrameType : std::uint8_t {
+  Hello = 1,       // plaintext: certificate + ephemeral key + binding sig
+  Summary = 2,     // sealed: store summary + scheme blob (Fig 2b step 2)
+  Request = 3,     // sealed: what the browser wants (Fig 2b step 3)
+  BundleData = 4,  // sealed: bundle + origin certificate (Fig 3b)
+};
+
+/// First frame on a new session, both directions.
+struct HelloFrame {
+  util::Bytes certificate;           // encoded pki::Certificate
+  crypto::X25519Key ephemeral_pub{}; // fresh per-session X25519 public key
+  crypto::EdSignature binding_sig{}; // cert key's signature over the eph key
+
+  util::Bytes signing_bytes() const;
+  util::Bytes encode() const;
+  static std::optional<HelloFrame> decode(util::ByteView data);
+};
+
+/// In-session store summary. `entries` is the same UserID->MessageNumber
+/// dictionary the plain-text advertisement carries; `unicast` lists
+/// direct-message bundles with their destinations so unicast schemes can
+/// make per-destination decisions; `scheme_blob` is opaque scheme state
+/// (PRoPHET ships its delivery-predictability table here).
+struct SummaryFrame {
+  std::map<pki::UserId, std::uint32_t> entries;
+  struct UnicastEntry {
+    bundle::BundleId id;
+    pki::UserId dest;
+  };
+  std::vector<UnicastEntry> unicast;
+  util::Bytes scheme_blob;
+
+  util::Bytes encode() const;
+  static std::optional<SummaryFrame> decode(util::ByteView data);
+};
+
+/// What the requesting side wants: per-publisher "everything newer than N"
+/// plus individually addressed bundles (unicast routing).
+struct RequestFrame {
+  std::vector<std::pair<pki::UserId, std::uint32_t>> by_publisher;
+  std::vector<bundle::BundleId> by_id;
+
+  bool empty() const { return by_publisher.empty() && by_id.empty(); }
+  util::Bytes encode() const;
+  static std::optional<RequestFrame> decode(util::ByteView data);
+};
+
+/// One bundle in flight, accompanied by the origin's certificate so the
+/// receiver can authenticate provenance offline (Fig 3b: Bob forwards
+/// Alice's certificate to Carol).
+struct BundleDataFrame {
+  util::Bytes bundle;       // encoded bundle::Bundle
+  util::Bytes origin_cert;  // encoded pki::Certificate of the publisher
+  std::uint32_t spray_copies = 0;  // Spray-and-Wait copy budget (0 = n/a)
+
+  util::Bytes encode() const;
+  static std::optional<BundleDataFrame> decode(util::ByteView data);
+};
+
+}  // namespace sos::mw

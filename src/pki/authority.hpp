@@ -1,0 +1,85 @@
+// Certificate authority and device-side trust store. The CA is the
+// infrastructure half of the paper's one-time requirement (Fig 2a); the
+// trust store is what ships to the device (root certificate + CRL snapshot)
+// and makes all later verification work offline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "crypto/ed25519.hpp"
+#include "pki/certificate.hpp"
+
+namespace sos::pki {
+
+enum class VerifyResult {
+  Ok,
+  BadSignature,
+  UnknownIssuer,
+  Expired,
+  NotYetValid,
+  Revoked,
+  IdentityMismatch,
+};
+
+const char* to_string(VerifyResult r);
+
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string name, const crypto::EdSeed& seed,
+                       util::SimTime cert_lifetime = util::days(365));
+
+  const std::string& name() const { return name_; }
+  const crypto::EdPublicKey& root_public_key() const { return keypair_.public_key(); }
+
+  /// Issue a certificate for a verified CSR. Fails (nullopt) when the
+  /// proof-of-possession is invalid — a malicious device cannot obtain a
+  /// certificate for a key it does not hold.
+  std::optional<Certificate> issue(const CertificateRequest& csr, util::SimTime now);
+
+  /// Sign an arbitrary certificate body (tests use this to build
+  /// maliciously altered certificates).
+  Certificate issue_unchecked(Certificate cert);
+
+  void revoke(std::uint64_t serial);
+  const std::set<std::uint64_t>& revocation_list() const { return crl_; }
+  std::uint64_t issued_count() const { return next_serial_ - 1; }
+
+ private:
+  std::string name_;
+  crypto::Ed25519Keypair keypair_;
+  util::SimTime cert_lifetime_;
+  std::uint64_t next_serial_ = 1;
+  std::set<std::uint64_t> crl_;
+};
+
+/// Device-side verifier: pinned root + CRL snapshot (updating the CRL needs
+/// Internet, exactly the limitation §IV discusses).
+class TrustStore {
+ public:
+  TrustStore() = default;
+  TrustStore(std::string issuer_name, crypto::EdPublicKey root_key);
+
+  void set_root(std::string issuer_name, crypto::EdPublicKey root_key);
+  void update_crl(std::set<std::uint64_t> crl);
+  void add_revoked(std::uint64_t serial);
+
+  /// Full chain decision: issuer known, signature valid, within validity
+  /// window, not revoked.
+  VerifyResult verify(const Certificate& cert, util::SimTime now) const;
+
+  /// verify() plus the Fig 2a identity check: the certificate must bind the
+  /// expected unique user-identifier.
+  VerifyResult verify_identity(const Certificate& cert, const UserId& expected,
+                               util::SimTime now) const;
+
+ private:
+  std::string issuer_name_;
+  crypto::EdPublicKey root_key_{};
+  bool has_root_ = false;
+  std::set<std::uint64_t> crl_;
+};
+
+}  // namespace sos::pki

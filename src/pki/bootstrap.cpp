@@ -1,0 +1,77 @@
+#include "pki/bootstrap.hpp"
+
+#include "crypto/x25519.hpp"
+
+namespace sos::pki {
+
+namespace {
+crypto::EdSeed seed_from(util::ByteView seed) {
+  crypto::Drbg d(seed);
+  return d.generate_array<crypto::kEdSeedSize>();
+}
+}  // namespace
+
+BootstrapService::BootstrapService(util::ByteView seed, util::SimTime cert_lifetime)
+    : ca_("alleyoop-ca", seed_from(seed), cert_lifetime) {}
+
+std::optional<DeviceCredentials> BootstrapService::signup(const std::string& account_name,
+                                                          crypto::Drbg& device_rng,
+                                                          util::SimTime now) {
+  if (accounts_.count(account_name) > 0) return std::nullopt;
+
+  DeviceCredentials creds;
+  creds.account_name = account_name;
+  creds.user_id = user_id_from_name(account_name);
+  // Key generation happens on the device (Fig 2a: keys never leave it).
+  creds.signing_keypair =
+      crypto::Ed25519Keypair::from_seed(device_rng.generate_array<crypto::kEdSeedSize>());
+  creds.enc_private_key =
+      crypto::x25519_clamp(device_rng.generate_array<crypto::kX25519KeySize>());
+  creds.enc_public_key = crypto::x25519_base(creds.enc_private_key);
+
+  auto csr = CertificateRequest::create(creds.user_id, account_name, creds.signing_keypair,
+                                        creds.enc_public_key);
+  auto cert = submit_csr(account_name, csr, now);
+  if (!cert) return std::nullopt;
+  creds.certificate = *cert;
+  creds.trust = make_trust_store();
+  return creds;
+}
+
+std::optional<Certificate> BootstrapService::submit_csr(const std::string& logged_in_account,
+                                                        const CertificateRequest& csr,
+                                                        util::SimTime now, SignupError* error) {
+  auto set_error = [&](SignupError e) {
+    if (error) *error = e;
+  };
+  if (accounts_.count(logged_in_account) > 0) {
+    set_error(SignupError::DuplicateAccount);
+    return std::nullopt;
+  }
+  // Fig 2a mitigation: the cloud asks the CA to compare the claimed unique
+  // user-identifier with the identifier of the logged-in user.
+  if (!(csr.subject_id == user_id_from_name(logged_in_account)) ||
+      csr.subject_name != logged_in_account) {
+    set_error(SignupError::IdentifierMismatch);
+    return std::nullopt;
+  }
+  auto cert = ca_.issue(csr, now);
+  if (!cert) {
+    set_error(SignupError::BadProofOfPossession);
+    return std::nullopt;
+  }
+  accounts_[logged_in_account] = csr.subject_id;
+  return cert;
+}
+
+TrustStore BootstrapService::make_trust_store() const {
+  TrustStore store(ca_.name(), ca_.root_public_key());
+  store.update_crl(ca_.revocation_list());
+  return store;
+}
+
+void BootstrapService::refresh_crl(TrustStore& store) const {
+  store.update_crl(ca_.revocation_list());
+}
+
+}  // namespace sos::pki

@@ -1,0 +1,72 @@
+// The one-time infrastructure requirement of Fig 2a: during app signup the
+// device generates keys, the cloud validates that the claimed unique
+// user-identifier belongs to the logged-in account, the CA issues the
+// certificate, and the device receives its certificate plus the CA root.
+// After this exchange no Internet is needed for dissemination (§IV).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/drbg.hpp"
+#include "pki/authority.hpp"
+
+namespace sos::pki {
+
+/// Everything a device holds after signup.
+struct DeviceCredentials {
+  std::string account_name;
+  UserId user_id;
+  crypto::Ed25519Keypair signing_keypair;   // long-term identity key
+  crypto::X25519Key enc_private_key{};      // long-term E2E decryption key
+  crypto::X25519Key enc_public_key{};
+  Certificate certificate;                  // CA-issued, binds user_id<->key
+  TrustStore trust;                         // CA root + CRL snapshot
+};
+
+enum class SignupError {
+  DuplicateAccount,
+  IdentifierMismatch,   // claimed uid does not match the logged-in account
+  BadProofOfPossession,
+};
+
+/// Simulated cloud + CA pair. One instance plays both infrastructure roles
+/// of Fig 2a; devices interact only at signup (and for CRL refresh, which
+/// the paper notes requires connectivity).
+class BootstrapService {
+ public:
+  explicit BootstrapService(util::ByteView seed,
+                            util::SimTime cert_lifetime = util::days(365));
+
+  /// Full Fig 2a flow for a well-behaved device. The caller supplies the
+  /// device RNG so key generation happens "on device".
+  std::optional<DeviceCredentials> signup(const std::string& account_name, crypto::Drbg& device_rng,
+                                          util::SimTime now);
+
+  /// Raw cloud endpoint: validates the CSR against the logged-in account
+  /// name, catching a malicious device claiming someone else's identifier
+  /// (the attack §IV describes).
+  std::optional<Certificate> submit_csr(const std::string& logged_in_account,
+                                        const CertificateRequest& csr, util::SimTime now,
+                                        SignupError* error = nullptr);
+
+  CertificateAuthority& authority() { return ca_; }
+  const CertificateAuthority& authority() const { return ca_; }
+
+  /// What a device pins at install time.
+  TrustStore make_trust_store() const;
+
+  /// Connectivity-requiring CRL refresh (paper limitation: revocation needs
+  /// Internet).
+  void refresh_crl(TrustStore& store) const;
+
+  bool account_exists(const std::string& name) const { return accounts_.count(name) > 0; }
+  std::size_t account_count() const { return accounts_.size(); }
+
+ private:
+  CertificateAuthority ca_;
+  std::map<std::string, UserId> accounts_;
+};
+
+}  // namespace sos::pki

@@ -1,0 +1,58 @@
+// X.509-lite certificates (DESIGN.md substitution #3): the same trust
+// decisions as the paper's X.509 deployment — identity binding, issuer
+// signature, validity window, serial for revocation — without ASN.1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/ed25519.hpp"
+#include "crypto/x25519.hpp"
+#include "pki/identity.hpp"
+#include "util/bytes.hpp"
+#include "util/time.hpp"
+
+namespace sos::pki {
+
+struct Certificate {
+  std::uint64_t serial = 0;
+  UserId subject_id;                 // the paper's unique user-identifier
+  std::string subject_name;          // human-readable account name
+  crypto::EdPublicKey subject_key{};  // subject's Ed25519 signing key
+  crypto::X25519Key subject_enc_key{};  // subject's X25519 key for E2E encryption
+  std::string issuer_name;
+  util::SimTime not_before = 0;
+  util::SimTime not_after = 0;
+  crypto::EdSignature signature{};   // issuer's signature over signing_bytes()
+
+  /// Canonical byte string covered by the issuer signature.
+  util::Bytes signing_bytes() const;
+
+  util::Bytes encode() const;
+  static std::optional<Certificate> decode(util::ByteView data);
+
+  bool valid_at(util::SimTime now) const { return now >= not_before && now <= not_after; }
+};
+
+/// Certificate signing request: what a device sends to the CA at signup
+/// (Fig 2a step: "generate keys, send CSR with unique user-identifier").
+struct CertificateRequest {
+  UserId subject_id;
+  std::string subject_name;
+  crypto::EdPublicKey subject_key{};
+  crypto::X25519Key subject_enc_key{};
+  /// Proof-of-possession: self-signature over the request fields.
+  crypto::EdSignature pop_signature{};
+
+  util::Bytes signing_bytes() const;
+  util::Bytes encode() const;
+  static std::optional<CertificateRequest> decode(util::ByteView data);
+
+  static CertificateRequest create(const UserId& id, const std::string& name,
+                                   const crypto::Ed25519Keypair& keypair,
+                                   const crypto::X25519Key& enc_public_key);
+  bool verify_pop() const;
+};
+
+}  // namespace sos::pki

@@ -1,0 +1,32 @@
+#include "pki/identity.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sos::pki {
+
+std::string UserId::to_string() const {
+  return util::base32_encode(view());
+}
+
+std::optional<UserId> UserId::from_string(const std::string& s) {
+  auto decoded = util::base32_decode(s);
+  if (!decoded || decoded->size() != kUserIdSize) return std::nullopt;
+  UserId id;
+  for (std::size_t i = 0; i < kUserIdSize; ++i) id.bytes[i] = (*decoded)[i];
+  return id;
+}
+
+bool UserId::is_zero() const {
+  for (auto b : bytes)
+    if (b != 0) return false;
+  return true;
+}
+
+UserId user_id_from_name(const std::string& account_name) {
+  auto digest = crypto::Sha256::hash(util::to_bytes(account_name));
+  UserId id;
+  for (std::size_t i = 0; i < kUserIdSize; ++i) id.bytes[i] = digest[i];
+  return id;
+}
+
+}  // namespace sos::pki

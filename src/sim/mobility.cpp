@@ -1,0 +1,202 @@
+#include "sim/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace sos::sim {
+
+double distance(const Vec2& a, const Vec2& b) {
+  double dx = a.x - b.x, dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+void Trajectory::add(util::SimTime t, Vec2 p) {
+  if (!points_.empty() && t < points_.back().first) t = points_.back().first;
+  points_.emplace_back(t, p);
+}
+
+Vec2 Trajectory::at(util::SimTime t) const {
+  if (points_.empty()) return {};
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                             [](util::SimTime v, const auto& p) { return v < p.first; });
+  const auto& [t1, p1] = *it;
+  const auto& [t0, p0] = *(it - 1);
+  if (t1 <= t0) return p0;
+  double f = (t - t0) / (t1 - t0);
+  return {p0.x + (p1.x - p0.x) * f, p0.y + (p1.y - p0.y) * f};
+}
+
+util::SimTime Trajectory::end_time() const {
+  return points_.empty() ? 0.0 : points_.back().first;
+}
+
+namespace {
+Vec2 random_point(const AreaSpec& area, util::Rng& rng) {
+  return {rng.uniform(0, area.width_m), rng.uniform(0, area.height_m)};
+}
+}  // namespace
+
+std::unique_ptr<TrajectoryMobility> random_waypoint(std::size_t nodes, util::SimTime horizon,
+                                                    const RandomWaypointParams& params,
+                                                    util::Rng& rng) {
+  std::vector<Trajectory> trajectories(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    Trajectory& tr = trajectories[i];
+    util::SimTime t = 0;
+    Vec2 pos = random_point(params.area, rng);
+    tr.add(t, pos);
+    while (t < horizon) {
+      Vec2 target = random_point(params.area, rng);
+      double speed = rng.uniform(params.min_speed_mps, params.max_speed_mps);
+      double travel = distance(pos, target) / speed;
+      t += travel;
+      tr.add(t, target);
+      pos = target;
+      double pause = rng.uniform(params.min_pause_s, params.max_pause_s);
+      if (pause > 0) {
+        t += pause;
+        tr.add(t, pos);
+      }
+    }
+  }
+  return std::make_unique<TrajectoryMobility>(std::move(trajectories));
+}
+
+std::unique_ptr<TrajectoryMobility> levy_walk(std::size_t nodes, util::SimTime horizon,
+                                              const LevyWalkParams& params, util::Rng& rng) {
+  std::vector<Trajectory> trajectories(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    Trajectory& tr = trajectories[i];
+    util::SimTime t = 0;
+    Vec2 pos = random_point(params.area, rng);
+    tr.add(t, pos);
+    while (t < horizon) {
+      // Inverse-CDF sample of a bounded Pareto flight length.
+      double u = rng.uniform();
+      double a = params.alpha;
+      double lmin = std::pow(params.min_flight_m, 1.0 - a);
+      double lmax = std::pow(params.max_flight_m, 1.0 - a);
+      double len = std::pow(lmin + u * (lmax - lmin), 1.0 / (1.0 - a));
+      double angle = rng.uniform(0, 2.0 * M_PI);
+      Vec2 target = {pos.x + len * std::cos(angle), pos.y + len * std::sin(angle)};
+      // Reflect at the boundary.
+      target.x = std::fabs(target.x);
+      target.y = std::fabs(target.y);
+      if (target.x > params.area.width_m) target.x = 2 * params.area.width_m - target.x;
+      if (target.y > params.area.height_m) target.y = 2 * params.area.height_m - target.y;
+      target.x = std::clamp(target.x, 0.0, params.area.width_m);
+      target.y = std::clamp(target.y, 0.0, params.area.height_m);
+      t += distance(pos, target) / params.speed_mps;
+      tr.add(t, target);
+      pos = target;
+      double pause = rng.uniform(0, params.max_pause_s);
+      if (pause > 0) {
+        t += pause;
+        tr.add(t, pos);
+      }
+    }
+  }
+  return std::make_unique<TrajectoryMobility>(std::move(trajectories));
+}
+
+std::unique_ptr<TrajectoryMobility> daily_routine(std::size_t nodes, util::SimTime horizon,
+                                                  const DailyRoutineParams& params,
+                                                  util::Rng& rng) {
+  // Shared hotspot locations: clustered near the center of the area
+  // (campus/downtown) so different users' visits overlap.
+  std::vector<Vec2> hotspots;
+  const AreaSpec& area = params.area;
+  for (std::size_t h = 0; h < params.hotspot_count; ++h) {
+    double cx = area.width_m / 2, cy = area.height_m / 2;
+    double spread_x = area.width_m * params.hotspot_cluster_frac;
+    double spread_y = area.height_m * params.hotspot_cluster_frac;
+    hotspots.push_back({cx + rng.uniform(-spread_x, spread_x) / 2,
+                        cy + rng.uniform(-spread_y, spread_y) / 2});
+  }
+
+  std::vector<Trajectory> trajectories(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    Trajectory& tr = trajectories[i];
+    Vec2 home = random_point(area, rng);
+    Vec2 pos = home;
+    tr.add(0, home);
+    // Weekly schedule: the node reliably goes out on `active_weekdays` fixed
+    // days (a class/work schedule). Any two 3-of-5 schedules overlap in at
+    // least one day, so every pair has a recurring meeting opportunity with
+    // a 1-3 day gap — the mechanism behind the paper's multi-hour delays.
+    std::vector<int> weekdays{0, 1, 2, 3, 4};
+    rng.shuffle(weekdays);
+    std::set<int> active(weekdays.begin(),
+                         weekdays.begin() + std::min<std::size_t>(
+                                                static_cast<std::size_t>(params.active_weekdays),
+                                                weekdays.size()));
+    int total_days = static_cast<int>(std::ceil(horizon / util::days(1)));
+    for (int day = 0; day < total_days; ++day) {
+      util::SimTime day_start = util::days(day);
+      bool weekend = util::is_weekend(day_start);
+      double attend_p;
+      bool hyper = params.highly_active.count(i) > 0;
+      if (weekend) {
+        attend_p = hyper ? 2 * params.weekend_attend_p : params.weekend_attend_p;
+      } else if (hyper) {
+        attend_p = params.active_attend_p;  // out every weekday
+      } else {
+        attend_p = active.count(util::day_of_week(day_start)) > 0 ? params.active_attend_p
+                                                                  : params.offday_attend_p;
+      }
+      if (!rng.chance(attend_p)) continue;  // stays home all day
+
+      // Wake and head out.
+      util::SimTime t = day_start + util::hours(params.wake_h) + rng.uniform(0, util::hours(1.5));
+      tr.add(t, pos);
+      int visits = params.min_visits_per_day +
+                   static_cast<int>(rng.below(
+                       static_cast<std::uint64_t>(params.max_visits_per_day -
+                                                  params.min_visits_per_day + 1)));
+      util::SimTime home_by =
+          day_start + util::hours(params.return_home_h) + rng.uniform(0, util::hours(2.5));
+      for (int v = 0; v < visits && t < home_by; ++v) {
+        // Crowds synchronize: part of the time everyone heads to the same
+        // "popular" spot of the current 3-hour block, which is what makes
+        // distinct users' visits overlap (and D2D encounters happen).
+        // Spot choice mixes three habits, which makes pair meeting rates
+        // heterogeneous the way a real friend group's are: (a) the node's
+        // own haunt (same-department friends meet almost daily), (b) the
+        // day's popular gathering place (everyone overlaps now and then),
+        // (c) anywhere.
+        std::size_t block = static_cast<std::size_t>(t / util::days(1));
+        std::size_t popular = (block * 2654435761u) % hotspots.size();
+        std::size_t preferred = i % hotspots.size();
+        double draw = rng.uniform();
+        std::size_t choice;
+        if (draw < params.preferred_spot_p) {
+          choice = preferred;
+        } else if (draw < params.preferred_spot_p + params.popular_spot_p) {
+          choice = popular;
+        } else {
+          choice = rng.below(hotspots.size());
+        }
+        const Vec2& spot = hotspots[choice];
+        Vec2 dwell_pos = {spot.x + rng.uniform(-params.hotspot_radius_m, params.hotspot_radius_m),
+                          spot.y + rng.uniform(-params.hotspot_radius_m, params.hotspot_radius_m)};
+        t += distance(pos, dwell_pos) / params.travel_speed_mps;
+        tr.add(t, dwell_pos);
+        pos = dwell_pos;
+        double dwell = rng.uniform(params.min_dwell_s, params.max_dwell_s);
+        t = std::min(t + dwell, home_by);
+        tr.add(t, pos);
+      }
+      // Return home for the night.
+      t += distance(pos, home) / params.travel_speed_mps;
+      tr.add(t, home);
+      pos = home;
+    }
+    tr.add(horizon, pos);
+  }
+  return std::make_unique<TrajectoryMobility>(std::move(trajectories));
+}
+
+}  // namespace sos::sim

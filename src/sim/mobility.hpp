@@ -1,0 +1,124 @@
+// Mobility substrate. All models precompute a piecewise-linear trajectory
+// per node over the scenario horizon; position lookups interpolate. This
+// substitutes for the paper's real user movement (the deployment traces are
+// not public): the daily-routine model reproduces the qualitative structure
+// Section VI describes — a ~11 km x 8 km city, users stationary 5-8 h/night,
+// weekday gatherings at shared places, weekend dispersion.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace sos::sim {
+
+struct Vec2 {
+  double x = 0, y = 0;
+};
+
+double distance(const Vec2& a, const Vec2& b);
+
+/// Piecewise-linear path: sorted (time, position) anchors.
+class Trajectory {
+ public:
+  void add(util::SimTime t, Vec2 p);
+  /// Position at time t (clamped to the first/last anchor).
+  Vec2 at(util::SimTime t) const;
+  std::size_t anchor_count() const { return points_.size(); }
+  util::SimTime end_time() const;
+
+ private:
+  std::vector<std::pair<util::SimTime, Vec2>> points_;
+};
+
+/// Common interface: a fixed set of nodes with known positions over time.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual std::size_t node_count() const = 0;
+  virtual Vec2 position(std::size_t node, util::SimTime t) const = 0;
+};
+
+/// Model built from explicit trajectories (also the base for all built-ins).
+class TrajectoryMobility : public MobilityModel {
+ public:
+  explicit TrajectoryMobility(std::vector<Trajectory> trajectories)
+      : trajectories_(std::move(trajectories)) {}
+
+  std::size_t node_count() const override { return trajectories_.size(); }
+  Vec2 position(std::size_t node, util::SimTime t) const override {
+    return trajectories_[node].at(t);
+  }
+  const Trajectory& trajectory(std::size_t node) const { return trajectories_[node]; }
+
+ private:
+  std::vector<Trajectory> trajectories_;
+};
+
+struct AreaSpec {
+  double width_m = 11000.0;   // paper: ~11 km
+  double height_m = 8000.0;   // paper: ~8 km
+};
+
+struct RandomWaypointParams {
+  AreaSpec area;
+  double min_speed_mps = 0.7;
+  double max_speed_mps = 2.0;
+  double min_pause_s = 0.0;
+  double max_pause_s = 600.0;
+};
+
+/// Classic random waypoint over a rectangle.
+std::unique_ptr<TrajectoryMobility> random_waypoint(std::size_t nodes, util::SimTime horizon,
+                                                    const RandomWaypointParams& params,
+                                                    util::Rng& rng);
+
+struct LevyWalkParams {
+  AreaSpec area;
+  double alpha = 1.6;          // power-law exponent for flight lengths
+  double min_flight_m = 10.0;
+  double max_flight_m = 3000.0;
+  double speed_mps = 1.5;
+  double max_pause_s = 900.0;
+};
+
+/// Lévy walk: heavy-tailed flight lengths, uniform directions, reflected at
+/// the area boundary.
+std::unique_ptr<TrajectoryMobility> levy_walk(std::size_t nodes, util::SimTime horizon,
+                                              const LevyWalkParams& params, util::Rng& rng);
+
+struct DailyRoutineParams {
+  AreaSpec area;
+  std::size_t hotspot_count = 5;      // shared gathering places (campus etc.)
+  double hotspot_cluster_frac = 0.3;  // hotspots cluster in this central fraction
+  double hotspot_radius_m = 25.0;     // dwell positions scatter within this
+  int active_weekdays = 3;            // "class schedule": days/week a node goes out
+  double active_attend_p = 0.92;      // attendance on scheduled days
+  double offday_attend_p = 0.1;       // attendance on unscheduled weekdays
+  double weekend_attend_p = 0.12;
+  int min_visits_per_day = 1;
+  int max_visits_per_day = 4;
+  double min_dwell_s = 90 * 60.0;
+  double max_dwell_s = 4 * 3600.0;
+  double travel_speed_mps = 8.0;      // mixed walking/driving across the city
+  double return_home_h = 18.0;        // gatherings wind down by early evening
+  /// Nodes that go out every weekday (the deployment's social "centers" —
+  /// paper nodes 6 and 7 — interact far more than the rest).
+  std::set<std::size_t> highly_active;
+  double popular_spot_p = 0.8;        // odds a visit targets the day's popular spot
+  double preferred_spot_p = 0.0;      // odds a visit targets the node's own haunt
+  double sleep_start_h = 23.0;        // stationary at home overnight
+  double wake_h = 7.5;                // (the paper notes 5-8 h/day stationary)
+};
+
+/// Human daily-routine model: every node has a home; on active days it
+/// visits a random sequence of shared hotspots (creating co-location and
+/// hence D2D encounters), returning home for the night.
+std::unique_ptr<TrajectoryMobility> daily_routine(std::size_t nodes, util::SimTime horizon,
+                                                  const DailyRoutineParams& params,
+                                                  util::Rng& rng);
+
+}  // namespace sos::sim

@@ -1,0 +1,78 @@
+#include "sim/radio.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace sos::sim {
+
+EncounterDetector::EncounterDetector(Scheduler& sched, const MobilityModel& mobility,
+                                     double range_m, util::SimTime tick)
+    : sched_(sched), mobility_(mobility), range_m_(range_m), tick_(tick) {}
+
+void EncounterDetector::start(util::SimTime until) {
+  sched_.schedule_in(0, [this, until] { tick_once(until); });
+}
+
+void EncounterDetector::tick_once(util::SimTime until) {
+  scan();
+  if (sched_.now() + tick_ <= until) {
+    sched_.schedule_in(tick_, [this, until] { tick_once(until); });
+  }
+}
+
+void EncounterDetector::scan() {
+  const std::size_t n = mobility_.node_count();
+  const util::SimTime now = sched_.now();
+
+  std::vector<Vec2> pos(n);
+  for (std::size_t i = 0; i < n; ++i) pos[i] = mobility_.position(i, now);
+
+  // Uniform grid with cell size = range: only same/neighbor cells can hold
+  // pairs within range.
+  const double cell = range_m_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> grid;
+  auto key = [cell](const Vec2& p) {
+    auto gx = static_cast<std::int32_t>(std::floor(p.x / cell));
+    auto gy = static_cast<std::int32_t>(std::floor(p.y / cell));
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(gx)) << 32) |
+           static_cast<std::uint32_t>(gy);
+  };
+  for (std::size_t i = 0; i < n; ++i) grid[key(pos[i])].push_back(i);
+
+  std::set<std::pair<std::size_t, std::size_t>> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto gx = static_cast<std::int32_t>(std::floor(pos[i].x / cell));
+    auto gy = static_cast<std::int32_t>(std::floor(pos[i].y / cell));
+    for (int dx = -1; dx <= 1; ++dx)
+      for (int dy = -1; dy <= 1; ++dy) {
+        std::uint64_t k =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(gx + dx)) << 32) |
+            static_cast<std::uint32_t>(gy + dy);
+        auto it = grid.find(k);
+        if (it == grid.end()) continue;
+        for (std::size_t j : it->second) {
+          if (j <= i) continue;
+          if (distance(pos[i], pos[j]) <= range_m_) current.insert({i, j});
+        }
+      }
+  }
+
+  // Diff against the previous contact set.
+  for (const auto& p : current) {
+    if (contacts_.count(p) == 0) {
+      ++total_contacts_;
+      if (on_contact_start) on_contact_start(p.first, p.second);
+    }
+  }
+  for (const auto& p : contacts_) {
+    if (current.count(p) == 0 && on_contact_end) on_contact_end(p.first, p.second);
+  }
+  contacts_ = std::move(current);
+}
+
+bool EncounterDetector::in_contact(std::size_t a, std::size_t b) const {
+  if (a > b) std::swap(a, b);
+  return contacts_.count({a, b}) > 0;
+}
+
+}  // namespace sos::sim

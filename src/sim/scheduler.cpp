@@ -1,0 +1,48 @@
+#include "sim/scheduler.hpp"
+
+namespace sos::sim {
+
+EventId Scheduler::schedule_at(util::SimTime t, EventFn fn) {
+  if (t < now_) t = now_;  // never schedule into the past
+  EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  ++pending_;
+  return id;
+}
+
+EventId Scheduler::schedule_in(util::SimTime dt, EventFn fn) {
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+void Scheduler::cancel(EventId id) {
+  cancelled_.insert(id);
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    --pending_;
+    if (cancelled_.erase(ev.id) > 0) continue;
+    now_ = ev.at;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(util::SimTime t) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.at > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Scheduler::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace sos::sim

@@ -1,0 +1,59 @@
+// Discrete-event scheduler: the virtual clock every simulated component
+// (mobility stepper, radio links, middleware timers) hangs off. Events at
+// equal timestamps run in schedule order, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace sos::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class Scheduler {
+ public:
+  util::SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time t (clamped to now if in the past).
+  EventId schedule_at(util::SimTime t, EventFn fn);
+  /// Schedule `fn` dt seconds from now.
+  EventId schedule_in(util::SimTime dt, EventFn fn);
+  /// Cancel a pending event (no-op if already fired).
+  void cancel(EventId id);
+
+  /// Run the next event; false when the queue is empty.
+  bool step();
+  /// Run every event with timestamp <= t, then advance the clock to t.
+  void run_until(util::SimTime t);
+  /// Drain the queue completely.
+  void run_all();
+
+  std::size_t pending_events() const { return pending_; }
+
+ private:
+  struct Event {
+    util::SimTime at;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  util::SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace sos::sim

@@ -1,0 +1,99 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sos::sim {
+
+bool ContactTrace::add(ContactInterval c) {
+  if (c.a == c.b || c.end < c.start) return false;
+  if (c.a > c.b) std::swap(c.a, c.b);
+  contacts_.push_back(c);
+  return true;
+}
+
+std::size_t ContactTrace::node_count() const {
+  std::uint32_t highest = 0;
+  bool any = false;
+  for (const auto& c : contacts_) {
+    highest = std::max(highest, c.b);
+    any = true;
+  }
+  return any ? highest + 1 : 0;
+}
+
+util::SimTime ContactTrace::duration() const {
+  util::SimTime end = 0;
+  for (const auto& c : contacts_) end = std::max(end, c.end);
+  return end;
+}
+
+std::vector<double> ContactTrace::contact_durations() const {
+  std::vector<double> out;
+  out.reserve(contacts_.size());
+  for (const auto& c : contacts_) out.push_back(c.end - c.start);
+  return out;
+}
+
+void ContactTrace::save(std::ostream& os) const {
+  os << "# sos contact trace: start end node_a node_b\n";
+  for (const auto& c : contacts_)
+    os << c.start << " " << c.end << " " << c.a << " " << c.b << "\n";
+}
+
+std::optional<ContactTrace> ContactTrace::load(std::istream& is) {
+  ContactTrace trace;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    ContactInterval c;
+    if (!(ls >> c.start >> c.end >> c.a >> c.b)) return std::nullopt;
+    if (!trace.add(c)) return std::nullopt;
+  }
+  return trace;
+}
+
+std::string ContactTrace::to_string() const {
+  std::ostringstream os;
+  save(os);
+  return os.str();
+}
+
+std::optional<ContactTrace> ContactTrace::parse(const std::string& text) {
+  std::istringstream is(text);
+  return load(is);
+}
+
+void TraceRecorder::contact_start(std::uint32_t a, std::uint32_t b) {
+  if (a > b) std::swap(a, b);
+  open_.emplace(std::pair{a, b}, sched_.now());
+}
+
+void TraceRecorder::contact_end(std::uint32_t a, std::uint32_t b) {
+  if (a > b) std::swap(a, b);
+  auto it = open_.find({a, b});
+  if (it == open_.end()) return;
+  trace_.add({it->second, sched_.now(), a, b});
+  open_.erase(it);
+}
+
+ContactTrace TraceRecorder::finish() {
+  for (const auto& [pair, started] : open_)
+    trace_.add({started, sched_.now(), pair.first, pair.second});
+  open_.clear();
+  return std::move(trace_);
+}
+
+void TracePlayer::start() {
+  for (const auto& c : trace_.contacts()) {
+    sched_.schedule_at(c.start, [this, c] {
+      if (on_contact_start) on_contact_start(c.a, c.b);
+    });
+    sched_.schedule_at(c.end, [this, c] {
+      if (on_contact_end) on_contact_end(c.a, c.b);
+    });
+  }
+}
+
+}  // namespace sos::sim

@@ -1,0 +1,92 @@
+// Contact traces: record the encounter sequence of a run and replay it
+// later, or import external traces. The authors' deployment traces are not
+// public (DESIGN.md substitution #2); this module is the seam where they
+// would plug in — any trace in the simple text format below (one contact
+// interval per line, the style used by ONE-simulator / CRAWDAD exports)
+// can drive the full middleware stack instead of synthetic mobility.
+//
+//   # comment
+//   <start_seconds> <end_seconds> <node_a> <node_b>
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace sos::sim {
+
+struct ContactInterval {
+  util::SimTime start = 0;
+  util::SimTime end = 0;  // end >= start
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;    // a < b after normalization
+};
+
+class ContactTrace {
+ public:
+  /// Append a contact (normalizes node order; rejects a == b or end<start).
+  bool add(ContactInterval c);
+
+  const std::vector<ContactInterval>& contacts() const { return contacts_; }
+  std::size_t size() const { return contacts_.size(); }
+  /// Highest node index mentioned + 1 (0 when empty).
+  std::size_t node_count() const;
+  util::SimTime duration() const;
+
+  /// Inter-contact and contact-duration samples (trace characterization).
+  std::vector<double> contact_durations() const;
+
+  // --- text format -------------------------------------------------------
+  void save(std::ostream& os) const;
+  static std::optional<ContactTrace> load(std::istream& is);
+  std::string to_string() const;
+  static std::optional<ContactTrace> parse(const std::string& text);
+
+ private:
+  std::vector<ContactInterval> contacts_;
+};
+
+/// Records contact start/end events (wire it to an EncounterDetector) and
+/// produces a ContactTrace of the run.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(Scheduler& sched) : sched_(sched) {}
+
+  void contact_start(std::uint32_t a, std::uint32_t b);
+  void contact_end(std::uint32_t a, std::uint32_t b);
+  /// Close any still-open contacts at the current time and return the trace.
+  ContactTrace finish();
+
+ private:
+  Scheduler& sched_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, util::SimTime> open_;
+  ContactTrace trace_;
+};
+
+/// Replays a trace through the scheduler, invoking the callbacks exactly
+/// when contacts begin and end — a drop-in alternative to EncounterDetector
+/// for driving MpcNetwork::set_in_range.
+class TracePlayer {
+ public:
+  TracePlayer(Scheduler& sched, ContactTrace trace)
+      : sched_(sched), trace_(std::move(trace)) {}
+
+  std::function<void(std::uint32_t, std::uint32_t)> on_contact_start;
+  std::function<void(std::uint32_t, std::uint32_t)> on_contact_end;
+
+  /// Schedule every contact event; call before running the scheduler.
+  void start();
+
+ private:
+  Scheduler& sched_;
+  ContactTrace trace_;
+};
+
+}  // namespace sos::sim

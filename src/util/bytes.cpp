@@ -1,0 +1,148 @@
+#include "util/bytes.hpp"
+
+#include <cstring>
+
+namespace sos::util {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+namespace {
+constexpr char kHex[] = "0123456789abcdef";
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr char kB32[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+
+int b32_val(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a';
+  if (c >= '2' && c <= '7') return c - '2' + 26;
+  return -1;
+}
+}  // namespace
+
+std::string hex_encode(ByteView b) {
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t v : b) {
+    out.push_back(kHex[v >> 4]);
+    out.push_back(kHex[v & 0xF]);
+  }
+  return out;
+}
+
+std::optional<Bytes> hex_decode(std::string_view s) {
+  if (s.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    int hi = hex_val(s[i]);
+    int lo = hex_val(s[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string base32_encode(ByteView b) {
+  std::string out;
+  out.reserve((b.size() * 8 + 4) / 5);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (std::uint8_t v : b) {
+    acc = (acc << 8) | v;
+    bits += 8;
+    while (bits >= 5) {
+      bits -= 5;
+      out.push_back(kB32[(acc >> bits) & 0x1F]);
+    }
+  }
+  if (bits > 0) out.push_back(kB32[(acc << (5 - bits)) & 0x1F]);
+  return out;
+}
+
+std::optional<Bytes> base32_decode(std::string_view s) {
+  Bytes out;
+  out.reserve(s.size() * 5 / 8);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (char c : s) {
+    int v = b32_val(c);
+    if (v < 0) return std::nullopt;
+    acc = (acc << 5) | static_cast<std::uint32_t>(v);
+    bits += 5;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+std::uint32_t load32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load64_le(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load32_le(p)) |
+         (static_cast<std::uint64_t>(load32_le(p + 4)) << 32);
+}
+
+std::uint32_t load32_be(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t load64_be(const std::uint8_t* p) {
+  return (static_cast<std::uint64_t>(load32_be(p)) << 32) |
+         static_cast<std::uint64_t>(load32_be(p + 4));
+}
+
+void store32_le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void store64_le(std::uint8_t* p, std::uint64_t v) {
+  store32_le(p, static_cast<std::uint32_t>(v));
+  store32_le(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+void store32_be(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void store64_be(std::uint8_t* p, std::uint64_t v) {
+  store32_be(p, static_cast<std::uint32_t>(v >> 32));
+  store32_be(p + 4, static_cast<std::uint32_t>(v));
+}
+
+}  // namespace sos::util

@@ -1,0 +1,71 @@
+// Byte-buffer helpers shared by every module: hex and base32 text codecs,
+// constant-time comparison for secrets, and small conversion utilities.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sos::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Bytes from a string's raw characters.
+Bytes to_bytes(std::string_view s);
+
+/// Raw characters of a byte buffer as a std::string (may contain NUL).
+std::string to_string(ByteView b);
+
+/// Lowercase hex encoding ("deadbeef").
+std::string hex_encode(ByteView b);
+
+/// Decode hex; returns nullopt on odd length or non-hex characters.
+std::optional<Bytes> hex_decode(std::string_view s);
+
+/// RFC 4648 base32 (no padding, uppercase). Used for the 10-byte user ids:
+/// 10 bytes -> exactly 16 base32 characters.
+std::string base32_encode(ByteView b);
+std::optional<Bytes> base32_decode(std::string_view s);
+
+/// Constant-time equality for MACs/keys: always touches every byte.
+bool ct_equal(ByteView a, ByteView b);
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, ByteView src);
+
+/// Concatenate any number of buffers.
+template <typename... Views>
+Bytes concat(const Views&... vs) {
+  Bytes out;
+  std::size_t total = (static_cast<std::size_t>(std::size(vs)) + ... + 0u);
+  out.reserve(total);
+  (out.insert(out.end(), std::begin(vs), std::end(vs)), ...);
+  return out;
+}
+
+/// Fixed-size array from a view; asserts the size matches.
+template <std::size_t N>
+std::array<std::uint8_t, N> to_array(ByteView v) {
+  std::array<std::uint8_t, N> out{};
+  if (v.size() != N) return out;  // caller validates; zero on mismatch
+  for (std::size_t i = 0; i < N; ++i) out[i] = v[i];
+  return out;
+}
+
+// Little/big-endian scalar load/store used by crypto and the wire codec.
+std::uint32_t load32_le(const std::uint8_t* p);
+std::uint64_t load64_le(const std::uint8_t* p);
+std::uint32_t load32_be(const std::uint8_t* p);
+std::uint64_t load64_be(const std::uint8_t* p);
+void store32_le(std::uint8_t* p, std::uint32_t v);
+void store64_le(std::uint8_t* p, std::uint64_t v);
+void store32_be(std::uint8_t* p, std::uint32_t v);
+void store64_be(std::uint8_t* p, std::uint64_t v);
+
+}  // namespace sos::util

@@ -1,0 +1,127 @@
+#include "util/codec.hpp"
+
+#include <cstring>
+
+namespace sos::util {
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u32(std::uint32_t v) {
+  std::uint8_t tmp[4];
+  store32_be(tmp, v);
+  buf_.insert(buf_.end(), tmp, tmp + 4);
+}
+
+void Writer::u64(std::uint64_t v) {
+  std::uint8_t tmp[8];
+  store64_be(tmp, v);
+  buf_.insert(buf_.end(), tmp, tmp + 8);
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::bytes(ByteView b) {
+  varint(b.size());
+  raw(b);
+}
+
+void Writer::str(std::string_view s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::raw(ByteView b) {
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+const std::uint8_t* Reader::take(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return nullptr;
+  }
+  const std::uint8_t* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t Reader::u8() {
+  const std::uint8_t* p = take(1);
+  return p ? *p : 0;
+}
+
+std::uint16_t Reader::u16() {
+  const std::uint8_t* p = take(2);
+  if (!p) return 0;
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t Reader::u32() {
+  const std::uint8_t* p = take(4);
+  return p ? load32_be(p) : 0;
+}
+
+std::uint64_t Reader::u64() {
+  const std::uint8_t* p = take(8);
+  return p ? load64_be(p) : 0;
+}
+
+double Reader::f64() {
+  std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return ok_ ? v : 0.0;
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const std::uint8_t* p = take(1);
+    if (!p) return 0;
+    if (shift >= 64) {  // overlong encoding
+      ok_ = false;
+      return 0;
+    }
+    v |= static_cast<std::uint64_t>(*p & 0x7F) << shift;
+    if ((*p & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Bytes Reader::bytes() {
+  std::uint64_t n = varint();
+  if (!ok_ || n > remaining()) {
+    ok_ = false;
+    return {};
+  }
+  return raw(static_cast<std::size_t>(n));
+}
+
+std::string Reader::str() {
+  Bytes b = bytes();
+  return std::string(b.begin(), b.end());
+}
+
+Bytes Reader::raw(std::size_t n) {
+  const std::uint8_t* p = take(n);
+  if (!p) return {};
+  return Bytes(p, p + n);
+}
+
+}  // namespace sos::util

@@ -1,0 +1,73 @@
+// Binary wire codec used by bundles, certificates and the middleware
+// handshake frames. Fixed-width integers are big-endian; lengths and counts
+// use LEB128 varints. Readers are bounds-checked and never throw: failures
+// poison the reader (ok() == false) and subsequent reads return zeros, so
+// parsers can validate once at the end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace sos::util {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void varint(std::uint64_t v);
+  /// Length-prefixed (varint) byte string.
+  void bytes(ByteView b);
+  /// Length-prefixed (varint) UTF-8 string.
+  void str(std::string_view s);
+  /// Raw bytes, no length prefix (fixed-size fields).
+  void raw(ByteView b);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteView b) : data_(b) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::uint64_t varint();
+  Bytes bytes();
+  std::string str();
+  /// Read exactly n raw bytes.
+  Bytes raw(std::size_t n);
+  template <std::size_t N>
+  std::array<std::uint8_t, N> raw_array() {
+    Bytes b = raw(N);
+    return to_array<N>(b);
+  }
+
+  bool ok() const { return ok_; }
+  /// True when every byte was consumed and no read failed.
+  bool done() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  const std::uint8_t* take(std::size_t n);
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace sos::util

@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+#include "util/time.hpp"
+
+namespace sos::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel lv) {
+  switch (lv) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel lv) { g_level = lv; }
+
+void log_write(LogLevel lv, const std::string& tag, const std::string& msg) {
+  std::fprintf(stderr, "[%-5s] %-10s %s\n", level_name(lv), tag.c_str(), msg.c_str());
+}
+
+std::string format_time(SimTime t) {
+  auto day = static_cast<long>(t / 86400.0);
+  double tod = time_of_day(t);
+  int hh = static_cast<int>(tod / 3600.0);
+  int mm = static_cast<int>(tod / 60.0) % 60;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "d%ld %02d:%02d", day, hh, mm);
+  return buf;
+}
+
+std::string format_duration(SimTime dt) {
+  char buf[32];
+  if (dt < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fs", dt);
+  } else if (dt < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fm", dt / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fh", dt / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace sos::util

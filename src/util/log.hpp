@@ -1,0 +1,30 @@
+// Minimal leveled logger. Simulations are chatty; default level is Warn so
+// tests/benches stay quiet. Examples raise it to Info to narrate the run.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sos::util {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+LogLevel log_level();
+void set_log_level(LogLevel lv);
+
+void log_write(LogLevel lv, const std::string& tag, const std::string& msg);
+
+#define SOS_LOG(lv, tag, expr)                                      \
+  do {                                                              \
+    if (static_cast<int>(lv) >= static_cast<int>(::sos::util::log_level())) { \
+      std::ostringstream sos_log_os_;                               \
+      sos_log_os_ << expr;                                          \
+      ::sos::util::log_write(lv, tag, sos_log_os_.str());           \
+    }                                                               \
+  } while (0)
+
+#define SOS_DEBUG(tag, expr) SOS_LOG(::sos::util::LogLevel::Debug, tag, expr)
+#define SOS_INFO(tag, expr) SOS_LOG(::sos::util::LogLevel::Info, tag, expr)
+#define SOS_WARN(tag, expr) SOS_LOG(::sos::util::LogLevel::Warn, tag, expr)
+
+}  // namespace sos::util

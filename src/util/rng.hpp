@@ -1,0 +1,70 @@
+// Deterministic PRNG for simulations: xoshiro256** seeded via splitmix64.
+// Every scenario takes an explicit seed so runs are exactly reproducible;
+// std::mt19937 is avoided because distribution implementations differ across
+// standard libraries and would break cross-platform determinism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sos::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedbeefcafef00dULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, n) without modulo bias (n must be > 0).
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential with the given mean (>0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller, scaled to (mean, stddev).
+  double normal(double mean, double stddev);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double mean);
+
+  /// Zipf-like rank draw over [0, n) with exponent s (rejection-free inverse
+  /// CDF over precomputed weights would be heavy; simple CDF walk is fine for
+  /// small n used in workloads).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// True with probability p.
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly chosen element (container must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+  /// Derive an independent child stream (for per-node RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace sos::util

@@ -1,0 +1,250 @@
+// AlleyOop application-layer tests: post/action records, the local
+// database (timeline, action-log replay, persistence snapshot, pending
+// sync queue), the cloud service, and the app wired over a live SOS stack.
+#include <gtest/gtest.h>
+
+#include "alleyoop/app.hpp"
+#include "alleyoop/cloud.hpp"
+#include "alleyoop/local_db.hpp"
+#include "alleyoop/post.hpp"
+#include "crypto/drbg.hpp"
+#include "pki/bootstrap.hpp"
+#include "sim/multipeer.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sa = sos::alleyoop;
+namespace sc = sos::crypto;
+namespace sm = sos::mw;
+namespace sp = sos::pki;
+namespace ss = sos::sim;
+namespace su = sos::util;
+
+namespace {
+sa::Post make_post(const std::string& author, std::uint32_t num, double at = 0,
+                   const std::string& text = "hi") {
+  sa::Post p;
+  p.author = sp::user_id_from_name(author);
+  p.author_name = author;
+  p.msg_num = num;
+  p.created_at = at;
+  p.text = text;
+  return p;
+}
+}  // namespace
+
+TEST(Post, CodecRoundTrip) {
+  auto p = make_post("alice", 3, 42.5, "hello world");
+  auto d = sa::Post::decode(p.encode());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->author, p.author);
+  EXPECT_EQ(d->author_name, "alice");
+  EXPECT_EQ(d->msg_num, 3u);
+  EXPECT_DOUBLE_EQ(d->created_at, 42.5);
+  EXPECT_EQ(d->text, "hello world");
+}
+
+TEST(Post, DecodeRejectsGarbage) {
+  EXPECT_FALSE(sa::Post::decode(su::to_bytes("junk")).has_value());
+}
+
+TEST(SocialAction, CodecRoundTrip) {
+  sa::SocialAction a{sa::ActionKind::Unfollow, sp::user_id_from_name("a"),
+                     sp::user_id_from_name("b"), 9.0};
+  auto d = sa::SocialAction::decode(a.encode());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->kind, sa::ActionKind::Unfollow);
+  EXPECT_EQ(d->actor, a.actor);
+  EXPECT_EQ(d->target, a.target);
+}
+
+TEST(LocalDb, PostStorageAndTimeline) {
+  sa::LocalDb db;
+  EXPECT_TRUE(db.put_post(make_post("alice", 1, 10)));
+  EXPECT_FALSE(db.put_post(make_post("alice", 1, 10)));  // duplicate
+  EXPECT_TRUE(db.put_post(make_post("bob", 1, 30)));
+  EXPECT_TRUE(db.put_post(make_post("alice", 2, 20)));
+  auto tl = db.timeline();
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl[0].author_name, "bob");  // newest first
+  EXPECT_EQ(tl[2].msg_num, 1u);
+  EXPECT_EQ(db.posts_by(sp::user_id_from_name("alice")).size(), 2u);
+}
+
+TEST(LocalDb, ActionLogReplay) {
+  sa::LocalDb db;
+  auto me = sp::user_id_from_name("me");
+  auto a = sp::user_id_from_name("a");
+  auto b = sp::user_id_from_name("b");
+  db.put_action({sa::ActionKind::Follow, me, a, 1});
+  db.put_action({sa::ActionKind::Follow, me, b, 2});
+  db.put_action({sa::ActionKind::Unfollow, me, a, 3});
+  auto following = db.following_of(me);
+  EXPECT_EQ(following.count(a), 0u);
+  EXPECT_EQ(following.count(b), 1u);
+}
+
+TEST(LocalDb, PendingSyncQueue) {
+  sa::LocalDb db;
+  db.put_post(make_post("me", 1));
+  db.mark_local_post(sp::user_id_from_name("me"), 1);
+  EXPECT_EQ(db.pending_sync_count(), 1u);
+  auto pending = db.take_pending_posts();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(db.pending_sync_count(), 0u);
+}
+
+TEST(LocalDb, SerializeRoundTrip) {
+  sa::LocalDb db;
+  db.put_post(make_post("alice", 1, 5, "persistent"));
+  db.put_post(make_post("bob", 2, 6));
+  db.put_action({sa::ActionKind::Follow, sp::user_id_from_name("alice"),
+                 sp::user_id_from_name("bob"), 1});
+  db.mark_local_post(sp::user_id_from_name("alice"), 1);
+  auto restored = sa::LocalDb::deserialize(db.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->post_count(), 2u);
+  EXPECT_EQ(restored->action_log().size(), 1u);
+  EXPECT_EQ(restored->pending_sync_count(), 1u);
+  auto p = restored->get_post(sp::user_id_from_name("alice"), 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->text, "persistent");
+}
+
+TEST(LocalDb, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(sa::LocalDb::deserialize(su::to_bytes("nope")).has_value());
+  sa::LocalDb db;
+  auto bytes = db.serialize();
+  bytes.push_back(1);  // trailing junk
+  EXPECT_FALSE(sa::LocalDb::deserialize(bytes).has_value());
+}
+
+TEST(Cloud, PushPullRespectsFollowGraph) {
+  sa::CloudService cloud;
+  auto alice = sp::user_id_from_name("alice");
+  auto bob = sp::user_id_from_name("bob");
+  auto carol = sp::user_id_from_name("carol");
+  cloud.push_posts({make_post("alice", 1), make_post("alice", 2), make_post("carol", 1)});
+  cloud.push_actions({{sa::ActionKind::Follow, bob, alice, 0}});
+  auto pulled = cloud.pull_posts(bob, {});
+  ASSERT_EQ(pulled.size(), 2u);  // only alice's (bob doesn't follow carol)
+  // Incremental pull.
+  auto newer = cloud.pull_posts(bob, {{alice, 1}});
+  ASSERT_EQ(newer.size(), 1u);
+  EXPECT_EQ(newer[0].msg_num, 2u);
+  EXPECT_EQ(cloud.followers_of(alice).count(bob), 1u);
+}
+
+TEST(Cloud, UnfollowStopsPull) {
+  sa::CloudService cloud;
+  auto alice = sp::user_id_from_name("alice");
+  auto bob = sp::user_id_from_name("bob");
+  cloud.push_posts({make_post("alice", 1)});
+  cloud.push_actions({{sa::ActionKind::Follow, bob, alice, 0}});
+  cloud.push_actions({{sa::ActionKind::Unfollow, bob, alice, 1}});
+  EXPECT_TRUE(cloud.pull_posts(bob, {}).empty());
+}
+
+// --- App over a live SOS stack ------------------------------------------------
+
+namespace {
+struct AppBed {
+  ss::Scheduler sched;
+  sp::BootstrapService infra{su::to_bytes("app-bed")};
+  ss::MpcNetwork net{sched, 2};
+  sa::CloudService cloud;
+  std::unique_ptr<sm::SosNode> n0, n1;
+  std::unique_ptr<sa::App> a0, a1;
+
+  AppBed() {
+    sc::Drbg d0(su::to_bytes("app-d0")), d1(su::to_bytes("app-d1"));
+    sm::SosConfig config;
+    config.maintenance_interval_s = 0;
+    n0 = std::make_unique<sm::SosNode>(sched, net.endpoint(0),
+                                       *infra.signup("zoe", d0, 0), config);
+    n1 = std::make_unique<sm::SosNode>(sched, net.endpoint(1),
+                                       *infra.signup("yann", d1, 0), config);
+    a0 = std::make_unique<sa::App>(*n0, &cloud);
+    a1 = std::make_unique<sa::App>(*n1, &cloud);
+    n0->start();
+    n1->start();
+    sched.run_all();
+  }
+};
+}  // namespace
+
+TEST(App, PostSavesLocallyAndNumbersSequentially) {
+  AppBed bed;
+  auto p1 = bed.a0->post("first");
+  auto p2 = bed.a0->post("second");
+  EXPECT_EQ(p1.msg_num, 1u);
+  EXPECT_EQ(p2.msg_num, 2u);
+  EXPECT_EQ(bed.a0->timeline().size(), 2u);
+  EXPECT_EQ(bed.a0->db().pending_sync_count(), 2u);
+}
+
+TEST(App, DtnDeliveryPopulatesFollowerTimeline) {
+  AppBed bed;
+  bed.a1->follow(bed.a0->user_id());
+  bed.a0->post("dtn hello");
+  int notified = 0;
+  bed.a1->on_new_post = [&](const sa::Post& p) {
+    ++notified;
+    EXPECT_EQ(p.text, "dtn hello");
+    EXPECT_EQ(p.author_name, "zoe");  // name taken from the origin cert
+  };
+  bed.net.set_in_range(0, 1, true);
+  bed.sched.run_all();
+  EXPECT_EQ(notified, 1);
+  EXPECT_EQ(bed.a1->dtn_posts_received(), 1u);
+  ASSERT_EQ(bed.a1->timeline().size(), 1u);
+}
+
+TEST(App, CloudSyncPushesAndPulls) {
+  AppBed bed;
+  // Both users follow each other but never meet; the cloud bridges them
+  // when the Internet is available.
+  bed.a0->follow(bed.a1->user_id());
+  bed.a1->follow(bed.a0->user_id());
+  bed.a0->post("from zoe");
+  bed.a1->post("from yann");
+  bed.a0->sync_with_cloud();  // push zoe's post + follow actions
+  bed.a1->sync_with_cloud();  // push yann's, pull zoe's
+  bed.a0->sync_with_cloud();  // pull yann's
+  EXPECT_EQ(bed.a0->timeline().size(), 2u);
+  EXPECT_EQ(bed.a1->timeline().size(), 2u);
+  EXPECT_EQ(bed.cloud.post_count(), 2u);
+}
+
+TEST(App, DtnAndCloudDeduplicate) {
+  AppBed bed;
+  bed.a1->follow(bed.a0->user_id());
+  bed.a0->post("once only");
+  // Deliver via D2D first...
+  bed.net.set_in_range(0, 1, true);
+  bed.sched.run_all();
+  // ...then also via the cloud.
+  bed.a0->sync_with_cloud();
+  bed.a1->sync_with_cloud();
+  EXPECT_EQ(bed.a1->timeline().size(), 1u);  // no duplicate entry
+}
+
+TEST(App, ForgedAuthorNameCannotSpoofTimeline) {
+  // A publisher lies in the payload ("author_name": someone else); the app
+  // must normalize identity from the signed envelope + certificate.
+  AppBed bed;
+  bed.a1->follow(bed.a0->user_id());
+  sa::Post lie;
+  lie.author = sp::user_id_from_name("president");
+  lie.author_name = "president";
+  lie.msg_num = 99;
+  lie.text = "trust me";
+  bed.n0->publish(lie.encode(), sos::bundle::ContentType::SocialPost);
+  std::string seen_name;
+  bed.a1->on_new_post = [&](const sa::Post& p) { seen_name = p.author_name; };
+  bed.net.set_in_range(0, 1, true);
+  bed.sched.run_all();
+  EXPECT_EQ(seen_name, "zoe");  // envelope identity wins
+  auto posts = bed.a1->db().posts_by(bed.a0->user_id());
+  ASSERT_EQ(posts.size(), 1u);
+  EXPECT_EQ(posts[0].msg_num, 1u);  // envelope msg_num wins over payload's 99
+}

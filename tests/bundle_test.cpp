@@ -1,0 +1,220 @@
+// Bundle and store tests: wire round trips, signature semantics (hop count
+// mutable, content immutable), TTL expiry, duplicate suppression, capacity
+// eviction, and the two protocol queries (summary / newer_than).
+#include <gtest/gtest.h>
+
+#include "bundle/bundle.hpp"
+#include "bundle/store.hpp"
+#include "crypto/drbg.hpp"
+#include "util/rng.hpp"
+
+namespace sb = sos::bundle;
+namespace sp = sos::pki;
+namespace sc = sos::crypto;
+namespace su = sos::util;
+
+namespace {
+sc::Ed25519Keypair keys_for(const std::string& name) {
+  sc::Drbg d(su::to_bytes("bundle-test-" + name));
+  return sc::Ed25519Keypair::from_seed(d.generate_array<32>());
+}
+
+sb::Bundle make_bundle(const std::string& author, std::uint32_t num, double ts = 100.0,
+                       const std::string& text = "post") {
+  sb::Bundle b;
+  b.origin = sp::user_id_from_name(author);
+  b.msg_num = num;
+  b.creation_ts = ts;
+  b.lifetime_s = 0;
+  b.payload = su::to_bytes(text);
+  b.sign(keys_for(author));
+  return b;
+}
+}  // namespace
+
+TEST(Bundle, EncodeDecodeRoundTrip) {
+  auto b = make_bundle("alice", 7, 123.5, "hello dtn");
+  b.hop_count = 3;
+  auto decoded = sb::Bundle::decode(b.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->origin, b.origin);
+  EXPECT_EQ(decoded->msg_num, 7u);
+  EXPECT_DOUBLE_EQ(decoded->creation_ts, 123.5);
+  EXPECT_EQ(decoded->hop_count, 3);
+  EXPECT_EQ(decoded->payload, b.payload);
+  EXPECT_EQ(decoded->signature, b.signature);
+}
+
+TEST(Bundle, DecodeRejectsGarbage) {
+  EXPECT_FALSE(sb::Bundle::decode(su::to_bytes("not a bundle")).has_value());
+  auto enc = make_bundle("a", 1).encode();
+  enc.pop_back();
+  EXPECT_FALSE(sb::Bundle::decode(enc).has_value());
+  enc = make_bundle("a", 1).encode();
+  enc.push_back(0);  // trailing byte
+  EXPECT_FALSE(sb::Bundle::decode(enc).has_value());
+}
+
+TEST(Bundle, DecodeRejectsBadContentType) {
+  auto b = make_bundle("a", 1);
+  auto enc = b.encode();
+  // content type byte sits after origin(10) + msg_num(4) + ts(8) + lifetime(4)
+  enc[26] = 0x7F;
+  EXPECT_FALSE(sb::Bundle::decode(enc).has_value());
+}
+
+TEST(Bundle, SignatureVerifies) {
+  auto b = make_bundle("alice", 1);
+  EXPECT_TRUE(b.verify(keys_for("alice").public_key()));
+  EXPECT_FALSE(b.verify(keys_for("bob").public_key()));
+}
+
+TEST(Bundle, TamperedPayloadFailsVerification) {
+  auto b = make_bundle("alice", 1);
+  b.payload = su::to_bytes("forged content");
+  EXPECT_FALSE(b.verify(keys_for("alice").public_key()));
+}
+
+TEST(Bundle, HopCountMutableWithoutBreakingSignature) {
+  // Forwarders increment hop_count; the origin signature must survive.
+  auto b = make_bundle("alice", 1);
+  b.hop_count = 5;
+  EXPECT_TRUE(b.verify(keys_for("alice").public_key()));
+}
+
+TEST(Bundle, MetadataTamperFailsVerification) {
+  auto key = keys_for("alice").public_key();
+  auto b1 = make_bundle("alice", 1);
+  b1.msg_num = 2;
+  EXPECT_FALSE(b1.verify(key));
+  auto b2 = make_bundle("alice", 1);
+  b2.creation_ts += 1;
+  EXPECT_FALSE(b2.verify(key));
+  auto b3 = make_bundle("alice", 1);
+  b3.dest = sp::user_id_from_name("bob");
+  EXPECT_FALSE(b3.verify(key));
+}
+
+TEST(Bundle, ExpiryRule) {
+  auto b = make_bundle("alice", 1, 100.0);
+  b.lifetime_s = 60;
+  EXPECT_FALSE(b.expired(100.0));
+  EXPECT_FALSE(b.expired(160.0));
+  EXPECT_TRUE(b.expired(160.1));
+  b.lifetime_s = 0;  // no expiry
+  EXPECT_FALSE(b.expired(1e12));
+}
+
+TEST(Bundle, UnicastFlag) {
+  auto b = make_bundle("alice", 1);
+  EXPECT_FALSE(b.is_unicast());
+  b.dest = sp::user_id_from_name("bob");
+  EXPECT_TRUE(b.is_unicast());
+}
+
+class BundleCodecSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BundleCodecSweep, RandomPayloadRoundTrip) {
+  su::Rng rng(GetParam());
+  sb::Bundle b;
+  b.origin = sp::user_id_from_name("u" + std::to_string(GetParam()));
+  b.msg_num = static_cast<std::uint32_t>(rng.next());
+  b.creation_ts = rng.uniform(0, 1e6);
+  b.lifetime_s = static_cast<std::uint32_t>(rng.below(100000));
+  b.content = static_cast<sb::ContentType>(rng.below(3));
+  b.hop_count = static_cast<std::uint8_t>(rng.below(256));
+  b.payload.resize(rng.below(2048));
+  for (auto& p : b.payload) p = static_cast<std::uint8_t>(rng.next());
+  b.sign(keys_for("sweeper"));
+  auto decoded = sb::Bundle::decode(b.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->encode(), b.encode());
+  EXPECT_TRUE(decoded->verify(keys_for("sweeper").public_key()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BundleCodecSweep, ::testing::Range(0, 12));
+
+// --- store ---------------------------------------------------------------
+
+TEST(Store, InsertAndDuplicateSuppression) {
+  sb::BundleStore store;
+  EXPECT_TRUE(store.insert(make_bundle("alice", 1), 0));
+  EXPECT_FALSE(store.insert(make_bundle("alice", 1), 1));  // dup id
+  EXPECT_TRUE(store.insert(make_bundle("alice", 2), 2));
+  EXPECT_TRUE(store.insert(make_bundle("bob", 1), 3));
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.duplicate_count(), 1u);
+}
+
+TEST(Store, SummaryTracksLatestPerPublisher) {
+  sb::BundleStore store;
+  store.insert(make_bundle("alice", 1), 0);
+  store.insert(make_bundle("alice", 5), 0);
+  store.insert(make_bundle("alice", 3), 0);
+  store.insert(make_bundle("bob", 2), 0);
+  auto s = store.summary();
+  EXPECT_EQ(s.at(sp::user_id_from_name("alice")), 5u);
+  EXPECT_EQ(s.at(sp::user_id_from_name("bob")), 2u);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Store, NewerThanRangeScan) {
+  sb::BundleStore store;
+  for (std::uint32_t i = 1; i <= 10; ++i) store.insert(make_bundle("alice", i), 0);
+  store.insert(make_bundle("bob", 99), 0);
+  auto got = store.newer_than(sp::user_id_from_name("alice"), 7);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].msg_num, 8u);
+  EXPECT_EQ(got[2].msg_num, 10u);
+  EXPECT_TRUE(store.newer_than(sp::user_id_from_name("alice"), 10).empty());
+  // Zero means "send everything".
+  EXPECT_EQ(store.newer_than(sp::user_id_from_name("alice"), 0).size(), 10u);
+}
+
+TEST(Store, NewerThanUnknownUserIsEmpty) {
+  sb::BundleStore store;
+  store.insert(make_bundle("alice", 1), 0);
+  EXPECT_TRUE(store.newer_than(sp::user_id_from_name("nobody"), 0).empty());
+}
+
+TEST(Store, ExpireRemovesOnlyExpired) {
+  sb::BundleStore store;
+  auto fresh = make_bundle("alice", 1, 1000.0);
+  auto stale = make_bundle("alice", 2, 0.0);
+  stale.lifetime_s = 10;
+  stale.sign(keys_for("alice"));
+  store.insert(fresh, 1000);
+  store.insert(stale, 1000);
+  EXPECT_EQ(store.expire(1000.0), 1u);
+  EXPECT_TRUE(store.contains({sp::user_id_from_name("alice"), 1}));
+  EXPECT_FALSE(store.contains({sp::user_id_from_name("alice"), 2}));
+}
+
+TEST(Store, CapacityEvictsOldestCreation) {
+  sb::BundleStore store(3);
+  store.insert(make_bundle("a", 1, 100.0), 0);
+  store.insert(make_bundle("a", 2, 50.0), 0);  // oldest creation
+  store.insert(make_bundle("a", 3, 200.0), 0);
+  store.insert(make_bundle("a", 4, 150.0), 0);  // forces eviction
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_FALSE(store.contains({sp::user_id_from_name("a"), 2}));
+  EXPECT_EQ(store.evicted_count(), 1u);
+}
+
+TEST(Store, GetAndRemove) {
+  sb::BundleStore store;
+  store.insert(make_bundle("alice", 1, 100.0, "payload-x"), 0);
+  auto got = store.get({sp::user_id_from_name("alice"), 1});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(su::to_string(got->payload), "payload-x");
+  store.remove({sp::user_id_from_name("alice"), 1});
+  EXPECT_FALSE(store.get({sp::user_id_from_name("alice"), 1}).has_value());
+}
+
+TEST(Store, AllIteratesEverything) {
+  sb::BundleStore store;
+  for (std::uint32_t i = 1; i <= 5; ++i) store.insert(make_bundle("alice", i), 7.0);
+  auto all = store.all();
+  EXPECT_EQ(all.size(), 5u);
+  for (const auto* s : all) EXPECT_DOUBLE_EQ(s->received_at, 7.0);
+}
