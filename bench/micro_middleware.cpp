@@ -62,6 +62,41 @@ static void BM_BundleSignVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_BundleSignVerify);
 
+static void BM_BundleVerifyEndToEnd(benchmark::State& state) {
+  // Full per-hop gate as the middleware runs it (certificate chain + bundle
+  // signature + verified-bundle cache). range(0)==1 re-verifies the same
+  // bundle (cache hit, the epidemic re-reception case); range(0)==0 clears
+  // the cache each round (cold path).
+  pki::BootstrapService infra(util::to_bytes("bv-infra"));
+  crypto::Drbg dv(util::to_bytes("bv-v")), dp(util::to_bytes("bv-p"));
+  auto verifier = infra.signup("bv-verifier", dv, 0.0);
+  auto publisher = infra.signup("bv-publisher", dp, 0.0);
+  sim::Scheduler sched;
+  sim::MpcNetwork net(sched, 1);
+  mw::NodeStats stats;
+  mw::AdHocManager adhoc(sched, net.endpoint(0), *verifier, stats);
+
+  std::vector<bundle::Bundle> pool;
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    bundle::Bundle b;
+    b.origin = publisher->user_id;
+    b.msg_num = i;
+    b.payload = dp.generate(512);
+    b.sign(publisher->signing_keypair);
+    pool.push_back(std::move(b));
+  }
+  const bool cached = state.range(0) == 1;
+  // Cold: a capacity-1 cache plus a rotating pool makes every verify a miss.
+  if (!cached) adhoc.set_verify_cache_capacity(1);
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adhoc.verify_bundle(pool[idx], publisher->certificate));
+    if (!cached) idx = (idx + 1) % pool.size();
+  }
+  state.counters["cache_hits"] = static_cast<double>(stats.bundle_sig_cache_hits);
+}
+BENCHMARK(BM_BundleVerifyEndToEnd)->Arg(0)->Arg(1);
+
 static void BM_BundleCodec(benchmark::State& state) {
   crypto::Drbg d(util::to_bytes("bc"));
   bundle::Bundle b;

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the micro benches with JSON output so the perf trajectory is tracked
+# across PRs. Invoked by the `bench-json` CMake target:
+#   cmake --build build --target bench-json
+# Writes BENCH_crypto.json and BENCH_middleware.json at the repo root.
+set -euo pipefail
+
+build_dir="${1:?usage: run_benches.sh <build-dir> [repo-root]}"
+repo_root="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+"$build_dir/bench_micro_crypto" \
+  --benchmark_out="$repo_root/BENCH_crypto.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+"$build_dir/bench_micro_middleware" \
+  --benchmark_out="$repo_root/BENCH_middleware.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo "wrote $repo_root/BENCH_crypto.json and $repo_root/BENCH_middleware.json"

@@ -10,6 +10,7 @@ bool BundleStore::insert(Bundle b, util::SimTime now) {
   }
   StoredBundle stored{std::move(b), now, 0};
   stored.hops_on_arrival = stored.bundle.hop_count;
+  by_creation_.emplace(stored.bundle.creation_ts, id);
   bundles_.emplace(id, std::move(stored));
   evict_if_needed();
   return true;
@@ -55,6 +56,7 @@ std::size_t BundleStore::expire(util::SimTime now) {
   std::size_t removed = 0;
   for (auto it = bundles_.begin(); it != bundles_.end();) {
     if (it->second.bundle.expired(now)) {
+      by_creation_.erase({it->second.bundle.creation_ts, it->first});
       it = bundles_.erase(it);
       ++removed;
     } else {
@@ -65,16 +67,19 @@ std::size_t BundleStore::expire(util::SimTime now) {
 }
 
 void BundleStore::remove(const BundleId& id) {
-  bundles_.erase(id);
+  auto it = bundles_.find(id);
+  if (it == bundles_.end()) return;
+  by_creation_.erase({it->second.bundle.creation_ts, id});
+  bundles_.erase(it);
 }
 
 void BundleStore::evict_if_needed() {
   while (bundles_.size() > capacity_) {
-    // Evict the oldest bundle by creation time (drop-head policy).
-    auto oldest = bundles_.begin();
-    for (auto it = bundles_.begin(); it != bundles_.end(); ++it)
-      if (it->second.bundle.creation_ts < oldest->second.bundle.creation_ts) oldest = it;
-    bundles_.erase(oldest);
+    // Evict the oldest bundle by creation time (drop-head policy); the
+    // creation-time index makes this O(log n) per eviction.
+    auto oldest = by_creation_.begin();
+    bundles_.erase(oldest->second);
+    by_creation_.erase(oldest);
     ++evicted_;
   }
 }

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "bundle/bundle.hpp"
@@ -53,6 +54,9 @@ class BundleStore {
   void evict_if_needed();
 
   std::map<BundleId, StoredBundle> bundles_;
+  // Secondary index ordered by creation time: drop-head eviction pops the
+  // oldest bundle in O(log n) instead of scanning the whole store.
+  std::set<std::pair<util::SimTime, BundleId>> by_creation_;
   std::size_t capacity_;
   std::uint64_t evicted_ = 0;
   std::uint64_t duplicates_ = 0;

@@ -2,124 +2,14 @@
 
 #include <cstring>
 
-#include "crypto/fe25519.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/ge25519.hpp"
 #include "crypto/sc25519.hpp"
 #include "crypto/sha512.hpp"
 
 namespace sos::crypto {
 
 namespace {
-
-// Extended twisted-Edwards coordinates: x = X/Z, y = Y/Z, T = XY/Z.
-struct Ge {
-  Fe X, Y, Z, T;
-};
-
-Ge ge_identity() {
-  return Ge{kFeZero, kFeOne, kFeOne, kFeZero};
-}
-
-// Unified addition (add-2008-hwcd-3 for a = -1).
-Ge ge_add(const Ge& p, const Ge& q) {
-  Fe a = fe_mul(fe_add(p.Y, p.X), fe_add(q.Y, q.X));
-  Fe b = fe_mul(fe_sub(p.Y, p.X), fe_sub(q.Y, q.X));
-  Fe c = fe_mul(fe_mul(p.T, q.T), fe_edwards_2d());
-  Fe zz = fe_mul(p.Z, q.Z);
-  Fe d = fe_add(zz, zz);
-  Fe e = fe_sub(a, b);
-  Fe f = fe_sub(d, c);
-  Fe g = fe_add(d, c);
-  Fe h = fe_add(a, b);
-  return Ge{fe_mul(e, f), fe_mul(h, g), fe_mul(g, f), fe_mul(e, h)};
-}
-
-// Doubling (dbl-2008-hwcd).
-Ge ge_double(const Ge& p) {
-  Fe xx = fe_sq(p.X);
-  Fe yy = fe_sq(p.Y);
-  Fe zz2 = fe_add(fe_sq(p.Z), fe_sq(p.Z));
-  Fe xy2 = fe_sub(fe_sub(fe_sq(fe_add(p.X, p.Y)), yy), xx);  // 2XY
-  Fe yy_plus_xx = fe_add(yy, xx);
-  Fe yy_minus_xx = fe_sub(yy, xx);
-  Fe t = fe_sub(zz2, yy_minus_xx);
-  // p1p1 -> p3
-  return Ge{fe_mul(xy2, t), fe_mul(yy_plus_xx, yy_minus_xx), fe_mul(yy_minus_xx, t),
-            fe_mul(xy2, yy_plus_xx)};
-}
-
-Ge ge_neg(const Ge& p) {
-  return Ge{fe_neg(p.X), p.Y, p.Z, fe_neg(p.T)};
-}
-
-// Variable-time double-and-add; scalar is 32 bytes little-endian.
-// Timing leaks are acceptable here: this reproduction runs simulations, not
-// production endpoints (documented in README).
-Ge ge_scalarmult(const Ge& p, const std::uint8_t scalar[32]) {
-  Ge r = ge_identity();
-  bool started = false;
-  for (int i = 255; i >= 0; --i) {
-    if (started) r = ge_double(r);
-    if ((scalar[i / 8] >> (i % 8)) & 1) {
-      if (started) {
-        r = ge_add(r, p);
-      } else {
-        r = p;
-        started = true;
-      }
-    }
-  }
-  return started ? r : ge_identity();
-}
-
-void ge_tobytes(std::uint8_t s[32], const Ge& p) {
-  Fe zinv = fe_invert(p.Z);
-  Fe x = fe_mul(p.X, zinv);
-  Fe y = fe_mul(p.Y, zinv);
-  fe_tobytes(s, y);
-  s[31] ^= static_cast<std::uint8_t>(fe_is_negative(x) << 7);
-}
-
-bool ge_frombytes(Ge& out, const std::uint8_t s[32]) {
-  Fe y = fe_frombytes(s);
-  int sign = s[31] >> 7;
-
-  Fe yy = fe_sq(y);
-  Fe u = fe_sub(yy, kFeOne);                       // y^2 - 1
-  Fe v = fe_add(fe_mul(yy, fe_edwards_d()), kFeOne);  // d y^2 + 1
-
-  // x = u v^3 (u v^7)^((p-5)/8)
-  Fe v3 = fe_mul(fe_sq(v), v);
-  Fe v7 = fe_mul(fe_sq(v3), v);
-  Fe x = fe_mul(fe_mul(u, v3), fe_pow_p58(fe_mul(u, v7)));
-
-  Fe vxx = fe_mul(v, fe_sq(x));
-  if (!fe_equal(vxx, u)) {
-    if (!fe_equal(vxx, fe_neg(u))) return false;
-    x = fe_mul(x, fe_sqrt_m1());
-  }
-  if (fe_is_zero(x) && sign == 1) return false;
-  if (fe_is_negative(x) != sign) x = fe_neg(x);
-
-  out.X = x;
-  out.Y = y;
-  out.Z = kFeOne;
-  out.T = fe_mul(x, y);
-  return true;
-}
-
-const Ge& ge_base() {
-  static const Ge base = [] {
-    // y = 4/5 mod p, sign(x) = 0.
-    Fe y = fe_mul(fe_from_u64(4), fe_invert(fe_from_u64(5)));
-    std::uint8_t enc[32];
-    fe_tobytes(enc, y);  // sign bit already 0
-    Ge b{};
-    bool ok = ge_frombytes(b, enc);
-    (void)ok;
-    return b;
-  }();
-  return base;
-}
 
 std::array<std::uint8_t, 32> clamp(const std::uint8_t h[32]) {
   std::array<std::uint8_t, 32> s;
@@ -130,6 +20,16 @@ std::array<std::uint8_t, 32> clamp(const std::uint8_t h[32]) {
   return s;
 }
 
+// k = H(R || A || M) mod L, the Fiat-Shamir challenge of the scheme.
+Scalar challenge(const std::uint8_t r_enc[32], const EdPublicKey& pub, util::ByteView msg) {
+  Sha512 hk;
+  hk.update(util::ByteView(r_enc, 32));
+  hk.update(util::ByteView(pub.data(), pub.size()));
+  hk.update(msg);
+  auto k_hash = hk.finish();
+  return sc_reduce64(k_hash.data());
+}
+
 }  // namespace
 
 Ed25519Keypair Ed25519Keypair::from_seed(const EdSeed& seed) {
@@ -138,7 +38,7 @@ Ed25519Keypair Ed25519Keypair::from_seed(const EdSeed& seed) {
   auto h = Sha512::hash(util::ByteView(seed.data(), seed.size()));
   kp.scalar_ = clamp(h.data());
   std::memcpy(kp.prefix_.data(), h.data() + 32, 32);
-  Ge a = ge_scalarmult(ge_base(), kp.scalar_.data());
+  GeP3 a = ge_scalarmult_base(kp.scalar_.data());
   ge_tobytes(kp.pub_.data(), a);
   return kp;
 }
@@ -151,17 +51,11 @@ EdSignature Ed25519Keypair::sign(util::ByteView msg) const {
   auto r_hash = hr.finish();
   Scalar r = sc_reduce64(r_hash.data());
 
-  Ge rp = ge_scalarmult(ge_base(), r.data());
+  GeP3 rp = ge_scalarmult_base(r.data());
   EdSignature sig{};
   ge_tobytes(sig.data(), rp);
 
-  // k = H(R || A || M) mod L
-  Sha512 hk;
-  hk.update(util::ByteView(sig.data(), 32));
-  hk.update(util::ByteView(pub_.data(), pub_.size()));
-  hk.update(msg);
-  auto k_hash = hk.finish();
-  Scalar k = sc_reduce64(k_hash.data());
+  Scalar k = challenge(sig.data(), pub_, msg);
 
   // S = (r + k * s) mod L
   Scalar s_scalar;
@@ -176,24 +70,97 @@ bool ed25519_verify(const EdPublicKey& pub, util::ByteView msg, const EdSignatur
   std::memcpy(s.data(), sig.data() + 32, 32);
   if (!sc_is_canonical(s)) return false;
 
-  Ge a;
+  GeP3 a;
   if (!ge_frombytes(a, pub.data())) return false;
 
-  // k = H(R || A || M) mod L
-  Sha512 hk;
-  hk.update(util::ByteView(sig.data(), 32));
-  hk.update(util::ByteView(pub.data(), pub.size()));
-  hk.update(msg);
-  auto k_hash = hk.finish();
-  Scalar k = sc_reduce64(k_hash.data());
+  Scalar k = challenge(sig.data(), pub, msg);
 
-  // Check enc(S*B - k*A) == R.
-  Ge sb = ge_scalarmult(ge_base(), s.data());
-  Ge ka = ge_scalarmult(ge_neg(a), k.data());
-  Ge r = ge_add(sb, ka);
+  // enc(S*B - k*A) == R, computed in one Straus/Shamir pass.
+  GeP3 r = ge_double_scalarmult_base_vartime(s.data(), ge_neg(a), k.data());
   std::uint8_t r_enc[32];
   ge_tobytes(r_enc, r);
   return std::memcmp(r_enc, sig.data(), 32) == 0;
+}
+
+bool ed25519_verify_batch(const std::vector<EdBatchItem>& items, std::vector<bool>* per_item) {
+  const std::size_t n = items.size();
+  if (per_item) per_item->assign(n, false);
+  if (n == 0) return true;
+
+  auto fallback = [&] {
+    bool all = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      bool ok = ed25519_verify(items[i].pub, items[i].msg, items[i].sig);
+      if (per_item) (*per_item)[i] = ok;
+      all = all && ok;
+    }
+    return all;
+  };
+  if (n == 1) return fallback();
+
+  // Parse phase. Any malformed input sends the whole batch to the
+  // per-signature path, which isolates the offender.
+  std::vector<Scalar> s(n), k(n);
+  std::vector<GeP3> a(n), r(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(s[i].data(), items[i].sig.data() + 32, 32);
+    if (!sc_is_canonical(s[i])) return fallback();
+    if (!ge_frombytes(a[i], items[i].pub.data())) return fallback();
+    if (!ge_frombytes(r[i], items[i].sig.data())) return fallback();
+    // The single-signature check compares encodings byte-for-byte, so a
+    // non-canonical R must not slip through the point-level batch check.
+    std::uint8_t r_reenc[32];
+    ge_tobytes(r_reenc, r[i]);
+    if (std::memcmp(r_reenc, items[i].sig.data(), 32) != 0) return fallback();
+    k[i] = challenge(items[i].sig.data(), items[i].pub, items[i].msg);
+  }
+
+  // Random 128-bit coefficients z_i, derived Fiat-Shamir style from the
+  // whole batch so runs are deterministic and an adversary cannot pick
+  // signatures after seeing the coefficients.
+  Sha512 seed_hash;
+  seed_hash.update(util::to_bytes("sos-ed25519-batch-v1"));
+  for (std::size_t i = 0; i < n; ++i) {
+    seed_hash.update(util::ByteView(items[i].pub.data(), items[i].pub.size()));
+    seed_hash.update(util::ByteView(items[i].sig.data(), items[i].sig.size()));
+    seed_hash.update(items[i].msg);
+  }
+  auto seed = seed_hash.finish();
+  Drbg coeff_rng(util::ByteView(seed.data(), seed.size()));
+
+  // Check sum(z_i * (s_i*B - k_i*A_i - R_i)) == identity, i.e.
+  // (sum z_i s_i)*B == sum (z_i k_i)*A_i + z_i*R_i.
+  Scalar s_combined{};
+  std::vector<std::pair<Scalar, GeP3>> terms;
+  terms.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Scalar z{};
+    coeff_rng.generate(z.data(), 16);
+    bool zero = true;
+    for (int j = 0; j < 16; ++j) zero = zero && z[j] == 0;
+    if (zero) z[0] = 1;  // a zero coefficient would ignore the item
+    s_combined = sc_muladd(z, s[i], s_combined);
+    terms.emplace_back(sc_mul(z, k[i]), a[i]);
+    terms.emplace_back(z, r[i]);
+  }
+  GeP3 rhs = ge_multi_scalarmult_vartime(terms);
+  GeP3 lhs = ge_scalarmult_base(s_combined.data());
+  // Cofactored comparison (multiply the difference by 8): per-item errors
+  // with small-order components cannot be made to cancel across items by
+  // grinding coefficient parities, so a forged signature fails the batch
+  // with probability 1 - 2^-128 regardless of torsion tricks. The standard
+  // Ed25519 batch-equation caveat applies: an adversarially crafted
+  // signature whose verification error is PURE 8-torsion passes the
+  // cofactored batch but fails the strict single-signature check; producing
+  // one still requires the signer's private key, so this admits no
+  // third-party forgery.
+  GeP3 diff = ge_sub(lhs, ge_to_cached(rhs));
+  diff = ge_double(ge_double(ge_double(diff)));
+  if (ge_is_identity(diff)) {
+    if (per_item) per_item->assign(n, true);
+    return true;
+  }
+  return fallback();
 }
 
 }  // namespace sos::crypto

@@ -151,7 +151,39 @@ Fe fe_mul(const Fe& a, const Fe& b) {
 }
 
 Fe fe_sq(const Fe& a) {
-  return fe_mul(a, a);
+  // Dedicated squaring: 15 u128 products instead of fe_mul's 25. Doubling
+  // chains in the Ed25519 hot path are squaring-dominated, so this matters.
+  u64 a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  u64 d0 = 2 * a0, d1 = 2 * a1, d2 = 2 * a2;
+  u64 a3_19 = 19 * a3, a4_19 = 19 * a4;
+
+  u128 t0 = (u128)a0 * a0 + (u128)d1 * a4_19 + (u128)d2 * a3_19;
+  u128 t1 = (u128)d0 * a1 + (u128)d2 * a4_19 + (u128)a3 * a3_19;
+  u128 t2 = (u128)d0 * a2 + (u128)a1 * a1 + (u128)(2 * a3) * a4_19;
+  u128 t3 = (u128)d0 * a3 + (u128)d1 * a2 + (u128)a4 * a4_19;
+  u128 t4 = (u128)d0 * a4 + (u128)d1 * a3 + (u128)a2 * a2;
+
+  Fe r;
+  u64 c;
+  r.v[0] = (u64)t0 & kMask51;
+  c = (u64)(t0 >> 51);
+  t1 += c;
+  r.v[1] = (u64)t1 & kMask51;
+  c = (u64)(t1 >> 51);
+  t2 += c;
+  r.v[2] = (u64)t2 & kMask51;
+  c = (u64)(t2 >> 51);
+  t3 += c;
+  r.v[3] = (u64)t3 & kMask51;
+  c = (u64)(t3 >> 51);
+  t4 += c;
+  r.v[4] = (u64)t4 & kMask51;
+  c = (u64)(t4 >> 51);
+  r.v[0] += 19 * c;
+  c = r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  r.v[1] += c;
+  return r;
 }
 
 Fe fe_mul121666(const Fe& a) {
@@ -201,29 +233,45 @@ Fe fe_pow(const Fe& base, const std::uint8_t* exp_be, std::size_t len) {
   return result;
 }
 
-// p - 2 = 2^255 - 21, big-endian.
-const std::uint8_t kPm2[32] = {
-    0x7f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-    0xff, 0xeb};
-// (p - 5) / 8 = 2^252 - 3, big-endian.
-const std::uint8_t kP58[32] = {
-    0x0f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-    0xff, 0xfd};
 // (p - 1) / 4 = 2^253 - 5, big-endian (for sqrt(-1) = 2^((p-1)/4)).
 const std::uint8_t kPm1Q[32] = {
     0x1f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
     0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
     0xff, 0xfb};
+
+Fe fe_sq_times(Fe a, int n) {
+  for (int i = 0; i < n; ++i) a = fe_sq(a);
+  return a;
+}
+
+// Shared prefix of the inversion / sqrt addition chains: a^(2^250 - 1).
+// The exponents p-2 and (p-5)/8 are runs of ones, so the classic chain
+// (254 squarings + 11 multiplies) replaces fe_pow's multiply-per-set-bit
+// scan -- inversion drops from ~500 to ~265 field operations.
+Fe fe_pow_2e250m1(const Fe& z) {
+  Fe z2 = fe_sq(z);                          // z^2
+  Fe z9 = fe_mul(fe_sq_times(z2, 2), z);     // z^9
+  Fe z11 = fe_mul(z9, z2);                   // z^11
+  Fe z_5_0 = fe_mul(fe_sq(z11), z9);         // z^(2^5 - 1)
+  Fe z_10_0 = fe_mul(fe_sq_times(z_5_0, 5), z_5_0);       // z^(2^10 - 1)
+  Fe z_20_0 = fe_mul(fe_sq_times(z_10_0, 10), z_10_0);    // z^(2^20 - 1)
+  Fe z_40_0 = fe_mul(fe_sq_times(z_20_0, 20), z_20_0);    // z^(2^40 - 1)
+  Fe z_50_0 = fe_mul(fe_sq_times(z_40_0, 10), z_10_0);    // z^(2^50 - 1)
+  Fe z_100_0 = fe_mul(fe_sq_times(z_50_0, 50), z_50_0);   // z^(2^100 - 1)
+  Fe z_200_0 = fe_mul(fe_sq_times(z_100_0, 100), z_100_0);  // z^(2^200 - 1)
+  return fe_mul(fe_sq_times(z_200_0, 50), z_50_0);        // z^(2^250 - 1)
+}
 }  // namespace
 
 Fe fe_invert(const Fe& a) {
-  return fe_pow(a, kPm2, 32);
+  // a^(p-2) = a^(2^255 - 21) = (a^(2^250 - 1))^(2^5) * a^11.
+  Fe z11 = fe_mul(fe_mul(fe_sq_times(fe_sq(a), 2), a), fe_sq(a));
+  return fe_mul(fe_sq_times(fe_pow_2e250m1(a), 5), z11);
 }
 
 Fe fe_pow_p58(const Fe& a) {
-  return fe_pow(a, kP58, 32);
+  // a^((p-5)/8) = a^(2^252 - 3) = (a^(2^250 - 1))^(2^2) * a.
+  return fe_mul(fe_sq_times(fe_pow_2e250m1(a), 2), a);
 }
 
 bool fe_is_zero(const Fe& a) {

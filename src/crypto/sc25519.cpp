@@ -44,21 +44,65 @@ void sub_l(U256& r) {
   }
 }
 
-// Binary long division remainder: x mod L. 512 shift/compare/subtract steps.
+// m = L - 2^252 (125 bits), little-endian limbs.
+constexpr u64 kM[2] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL};
+
+int bitlen(const u64* w, int n) {
+  for (int i = n - 1; i >= 0; --i)
+    if (w[i]) return 64 * i + (64 - __builtin_clzll(w[i]));
+  return 0;
+}
+
+// Fold-based reduction: x mod L. Each pass rewrites x = q*2^252 + r as
+// r + (L << k) - q*m (always non-negative by choice of k), stripping ~124
+// bits per pass; 3-4 passes replace the seed's 512-step binary division.
 U256 mod_l(const U512& x) {
-  U256 r;
-  for (int bit = 511; bit >= 0; --bit) {
-    // r = (r << 1) | bit_of_x  -- r stays < 2L < 2^254 so no overflow
-    u64 carry = 0;
-    for (int i = 0; i < 4; ++i) {
-      u64 nc = r.w[i] >> 63;
-      r.w[i] = (r.w[i] << 1) | carry;
-      carry = nc;
+  u64 w[9] = {0};
+  for (int i = 0; i < 8; ++i) w[i] = x.w[i];
+
+  while (bitlen(w, 9) > 256) {
+    // q = w >> 252 (at most 260 bits), r = w mod 2^252.
+    u64 q[5];
+    for (int i = 0; i < 5; ++i) q[i] = (w[3 + i] >> 60) | (w[4 + i] << 4);
+    u64 r[4] = {w[0], w[1], w[2], w[3] & 0x0FFFFFFFFFFFFFFFULL};
+
+    // t = q * m  (<= 7 limbs since q < 2^260, m < 2^125).
+    u64 t[7] = {0};
+    for (int i = 0; i < 5; ++i) {
+      u128 carry = 0;
+      for (int j = 0; j < 2; ++j) {
+        u128 cur = (u128)q[i] * kM[j] + t[i + j] + carry;
+        t[i + j] = (u64)cur;
+        carry = cur >> 64;
+      }
+      t[i + 2] += (u64)carry;
     }
-    r.w[0] |= (x.w[bit / 64] >> (bit % 64)) & 1;
-    if (geq_l(r)) sub_l(r);
+
+    // kl = L << k with k chosen so kl > t: bitlen(t) <= bitlen(q)+126 and
+    // bitlen(L << k) = 253 + k.
+    int k = bitlen(q, 5) - 125;
+    if (k < 0) k = 0;
+    u64 kl[9] = {0};
+    int limb = k / 64, shift = k % 64;
+    for (int i = 0; i < 4; ++i) {
+      kl[i + limb] |= shift ? (kL[i] << shift) : kL[i];
+      if (shift && i + limb + 1 < 9) kl[i + limb + 1] |= kL[i] >> (64 - shift);
+    }
+
+    // w = r + kl - t (non-negative; < 2^389, fits the 9-limb buffer).
+    __int128 acc = 0;
+    for (int i = 0; i < 9; ++i) {
+      acc += kl[i];
+      if (i < 4) acc += r[i];
+      if (i < 7) acc -= t[i];
+      w[i] = (u64)acc;
+      acc >>= 64;  // arithmetic shift propagates the borrow
+    }
   }
-  return r;
+
+  U256 out{{w[0], w[1], w[2], w[3]}};
+  while (geq_l(out)) sub_l(out);
+  return out;
 }
 
 Scalar store256(const U256& r) {
@@ -110,6 +154,24 @@ Scalar sc_muladd(const Scalar& a, const Scalar& b, const Scalar& c) {
   U512 prod = mul256(a, b);
   add_into(prod, c);
   return store256(mod_l(prod));
+}
+
+Scalar sc_mul(const Scalar& a, const Scalar& b) {
+  return store256(mod_l(mul256(a, b)));
+}
+
+Scalar sc_add(const Scalar& a, const Scalar& b) {
+  U256 r;
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 cur = (u128)sos::util::load64_le(a.data() + 8 * i) +
+               sos::util::load64_le(b.data() + 8 * i) + carry;
+    r.w[i] = (u64)cur;
+    carry = cur >> 64;
+  }
+  // Inputs < L, so the sum is < 2L < 2^254: no carry out, one subtraction.
+  if (geq_l(r)) sub_l(r);
+  return store256(r);
 }
 
 bool sc_is_canonical(const Scalar& s) {

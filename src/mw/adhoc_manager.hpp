@@ -7,7 +7,9 @@
 // fully specified here (DESIGN.md substitution #4).
 #pragma once
 
+#include <array>
 #include <functional>
+#include <list>
 #include <map>
 #include <optional>
 
@@ -45,8 +47,25 @@ class AdHocManager {
 
   /// Verify a received bundle end to end: origin certificate chains to the
   /// CA root, is time-valid and unrevoked, binds the claimed origin id, and
-  /// the bundle signature checks out under the certified key.
+  /// the bundle signature checks out under the certified key. Signature
+  /// verdicts are memoized in an LRU cache keyed by bundle id + content
+  /// digest, so epidemic/spray re-receptions skip the two signature checks;
+  /// the time-dependent policy half is re-evaluated on every call.
   bool verify_bundle(const bundle::Bundle& b, const pki::Certificate& origin_cert);
+
+  /// Batch counterpart: verifies a burst of received bundles with one
+  /// random-linear-combination batch signature pass (cache consulted per
+  /// item first). Returns one verdict per input.
+  struct BundleToVerify {
+    const bundle::Bundle* bundle;
+    const pki::Certificate* cert;
+  };
+  std::vector<bool> verify_bundles(const std::vector<BundleToVerify>& batch);
+
+  /// Bound the verified-bundle cache (callers tie this to store capacity).
+  void set_verify_cache_capacity(std::size_t capacity);
+
+  sim::Scheduler& scheduler() { return sched_; }
 
   // --- callbacks up to the message manager -------------------------------
   /// Peer advertisement seen while browsing (parsed dictionary).
@@ -73,6 +92,24 @@ class AdHocManager {
     pki::Certificate peer_cert;
   };
 
+  using VerifyDigest = std::array<std::uint8_t, 32>;
+  struct VerifyCacheEntry {
+    VerifyDigest digest;
+    std::list<bundle::BundleId>::iterator lru_it;
+  };
+
+  /// Shared policy gate for both verification paths: certificate policy
+  /// (issuer, validity window, CRL) plus the Fig 2a identity binding.
+  /// Counts the rejection on failure.
+  bool bundle_policy_ok(const bundle::Bundle& b, const pki::Certificate& cert);
+
+  static VerifyDigest verify_digest(util::ByteView bundle_signed,
+                                    const crypto::EdSignature& bundle_sig,
+                                    util::ByteView cert_signed,
+                                    const crypto::EdSignature& cert_sig);
+  bool verify_cache_hit(const bundle::BundleId& id, const VerifyDigest& digest);
+  void verify_cache_insert(const bundle::BundleId& id, const VerifyDigest& digest);
+
   void handle_connected(sim::PeerId peer);
   void handle_receive(sim::PeerId peer, util::Bytes wire);
   void handle_hello(sim::PeerId peer, util::ByteView payload);
@@ -86,6 +123,12 @@ class AdHocManager {
   NodeStats& stats_;
   crypto::Drbg session_rng_;
   std::map<sim::PeerId, Session> sessions_;
+
+  // Verified-bundle cache: id -> digest of (bundle signed bytes, bundle
+  // signature, certificate body, certificate signature). LRU-bounded.
+  std::map<bundle::BundleId, VerifyCacheEntry> verify_cache_;
+  std::list<bundle::BundleId> verify_lru_;  // front = most recently used
+  std::size_t verify_cache_capacity_ = 4096;
 };
 
 }  // namespace sos::mw

@@ -33,6 +33,24 @@ MessageManager::MessageManager(AdHocManager& adhoc, NodeStats& stats,
   };
 }
 
+void MessageManager::flush_verify_queue() {
+  verify_flush_scheduled_ = false;
+  std::vector<PendingBundle> queue = std::move(verify_queue_);
+  verify_queue_.clear();
+
+  std::vector<AdHocManager::BundleToVerify> batch;
+  batch.reserve(queue.size());
+  for (const PendingBundle& p : queue) batch.push_back({&p.bundle, &p.cert});
+  std::vector<bool> ok = adhoc_.verify_bundles(batch);
+
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (!ok[i]) continue;
+    remember_certificate(queue[i].cert);
+    if (on_bundle) on_bundle(queue[i].peer, std::move(queue[i].bundle), queue[i].cert,
+                             queue[i].spray_copies);
+  }
+}
+
 void MessageManager::remember_certificate(const pki::Certificate& cert) {
   cert_cache_[cert.subject_id] = cert;
 }
@@ -108,6 +126,18 @@ void MessageManager::handle_frame(sim::PeerId peer, FrameType type, util::Bytes 
         return;
       }
       ++stats_.bundles_received;
+      if (verify_batch_window_ > 0) {
+        // Defer: bundles arriving within the window are verified together
+        // in one batch signature pass.
+        verify_queue_.push_back(PendingBundle{peer, std::move(*b), std::move(*cert),
+                                              f->spray_copies});
+        if (!verify_flush_scheduled_) {
+          verify_flush_scheduled_ = true;
+          adhoc_.scheduler().schedule_in(verify_batch_window_,
+                                         [this] { flush_verify_queue(); });
+        }
+        return;
+      }
       // Security gate: certificate chain + identity binding + signature.
       if (!adhoc_.verify_bundle(*b, *cert)) return;
       remember_certificate(*cert);

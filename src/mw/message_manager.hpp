@@ -56,8 +56,22 @@ class MessageManager {
 
   AdHocManager& adhoc() { return adhoc_; }
 
+  /// When > 0, received bundles are queued for up to this many sim-seconds
+  /// and verified together in one batch signature pass (an incoming burst
+  /// pays ~one double-scalar multiplication instead of one per bundle).
+  /// 0 (the default) keeps the synchronous per-bundle path.
+  void set_verify_batch_window(util::SimTime window) { verify_batch_window_ = window; }
+
  private:
   void handle_frame(sim::PeerId peer, FrameType type, util::Bytes payload);
+  void flush_verify_queue();
+
+  struct PendingBundle {
+    sim::PeerId peer;
+    bundle::Bundle bundle;
+    pki::Certificate cert;
+    std::uint32_t spray_copies;
+  };
 
   AdHocManager& adhoc_;
   NodeStats& stats_;
@@ -65,6 +79,9 @@ class MessageManager {
   std::map<pki::UserId, pki::Certificate> cert_cache_;
   std::map<sim::PeerId, pki::UserId> session_users_;
   std::map<sim::PeerId, std::set<bundle::BundleId>> sent_this_session_;
+  std::vector<PendingBundle> verify_queue_;
+  bool verify_flush_scheduled_ = false;
+  util::SimTime verify_batch_window_ = 0.0;
 };
 
 }  // namespace sos::mw

@@ -26,7 +26,11 @@ SosNode::SosNode(sim::Scheduler& sched, sim::MpcEndpoint& endpoint, pki::DeviceC
                  SosConfig config)
     : sched_(sched), creds_(std::move(creds)), config_(std::move(config)) {
   adhoc_ = std::make_unique<AdHocManager>(sched_, endpoint, creds_, stats_);
+  // The verified-bundle cache only needs to cover what can be re-received,
+  // which is bounded by what peers can still be carrying: the store size.
+  adhoc_->set_verify_cache_capacity(config_.store_capacity);
   msgs_ = std::make_unique<MessageManager>(*adhoc_, stats_, config_.store_capacity);
+  msgs_->set_verify_batch_window(config_.verify_batch_window_s);
   auto scheme = make_scheme(config_.scheme);
   if (!scheme) scheme = std::make_unique<InterestBasedScheme>();
   routing_ = std::make_unique<RoutingManager>(sched_, *msgs_, stats_, std::move(scheme));

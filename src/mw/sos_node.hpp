@@ -21,6 +21,9 @@ struct SosConfig {
   std::uint32_t bundle_lifetime_s = 0;   // 0 = bundles never expire
   std::size_t store_capacity = 10000;
   util::SimTime maintenance_interval_s = 600.0;
+  /// > 0: received bundles are queued this many sim-seconds and verified in
+  /// one batch signature pass; 0 verifies each bundle synchronously.
+  util::SimTime verify_batch_window_s = 0.0;
 };
 
 class SosNode {

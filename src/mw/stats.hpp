@@ -22,6 +22,10 @@ struct NodeStats {
   std::uint64_t bundles_received = 0;
   std::uint64_t bundle_sig_rejected = 0;
   std::uint64_t bundle_cert_rejected = 0;
+  std::uint64_t bundle_sig_cache_hits = 0;     // re-receptions skipping verify
+  std::uint64_t bundle_sig_cache_misses = 0;   // full signature verifications
+  std::uint64_t bundle_batch_verifies = 0;     // batch passes executed
+  std::uint64_t bundle_batch_fallbacks = 0;    // batches with a bad signature
   std::uint64_t duplicates_ignored = 0;
   std::uint64_t bundles_carried = 0;       // stored for forwarding
   std::uint64_t deliveries = 0;            // handed to the application

@@ -68,12 +68,23 @@ void TrustStore::add_revoked(std::uint64_t serial) {
 
 VerifyResult TrustStore::verify(const Certificate& cert, util::SimTime now) const {
   if (!has_root_ || cert.issuer_name != issuer_name_) return VerifyResult::UnknownIssuer;
-  if (!crypto::ed25519_verify(root_key_, cert.signing_bytes(), cert.signature))
-    return VerifyResult::BadSignature;
+  if (!verify_signature(cert)) return VerifyResult::BadSignature;
   if (now < cert.not_before) return VerifyResult::NotYetValid;
   if (now > cert.not_after) return VerifyResult::Expired;
   if (crl_.count(cert.serial) > 0) return VerifyResult::Revoked;
   return VerifyResult::Ok;
+}
+
+VerifyResult TrustStore::verify_policy(const Certificate& cert, util::SimTime now) const {
+  if (!has_root_ || cert.issuer_name != issuer_name_) return VerifyResult::UnknownIssuer;
+  if (now < cert.not_before) return VerifyResult::NotYetValid;
+  if (now > cert.not_after) return VerifyResult::Expired;
+  if (crl_.count(cert.serial) > 0) return VerifyResult::Revoked;
+  return VerifyResult::Ok;
+}
+
+bool TrustStore::verify_signature(const Certificate& cert) const {
+  return crypto::ed25519_verify(root_key_, cert.signing_bytes(), cert.signature);
 }
 
 VerifyResult TrustStore::verify_identity(const Certificate& cert, const UserId& expected,

@@ -70,6 +70,18 @@ class TrustStore {
   /// window, not revoked.
   VerifyResult verify(const Certificate& cert, util::SimTime now) const;
 
+  /// The cheap, time-dependent half of verify(): issuer known, within
+  /// validity window, not revoked — no signature check. Callers that cache
+  /// signature verdicts (the middleware's verified-bundle cache) re-evaluate
+  /// this on every use so expiry and revocation still bite.
+  VerifyResult verify_policy(const Certificate& cert, util::SimTime now) const;
+
+  /// The expensive half: the root's signature over the certificate body.
+  bool verify_signature(const Certificate& cert) const;
+
+  /// Pinned root key (for batch signature verification).
+  const crypto::EdPublicKey& root_key() const { return root_key_; }
+
   /// verify() plus the Fig 2a identity check: the certificate must bind the
   /// expected unique user-identifier.
   VerifyResult verify_identity(const Certificate& cert, const UserId& expected,

@@ -1,7 +1,7 @@
 #include "sim/radio.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 namespace sos::sim {
 
@@ -24,55 +24,62 @@ void EncounterDetector::scan() {
   const std::size_t n = mobility_.node_count();
   const util::SimTime now = sched_.now();
 
-  std::vector<Vec2> pos(n);
-  for (std::size_t i = 0; i < n; ++i) pos[i] = mobility_.position(i, now);
+  pos_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) pos_[i] = mobility_.position(i, now);
 
   // Uniform grid with cell size = range: only same/neighbor cells can hold
-  // pairs within range.
+  // pairs within range. The grid is a sorted (cell key, node) vector reused
+  // across ticks — no per-tick hash map or bucket allocations.
   const double cell = range_m_;
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> grid;
   auto key = [cell](const Vec2& p) {
     auto gx = static_cast<std::int32_t>(std::floor(p.x / cell));
     auto gy = static_cast<std::int32_t>(std::floor(p.y / cell));
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(gx)) << 32) |
            static_cast<std::uint32_t>(gy);
   };
-  for (std::size_t i = 0; i < n; ++i) grid[key(pos[i])].push_back(i);
+  cells_.clear();
+  cells_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) cells_.emplace_back(key(pos_[i]), i);
+  std::sort(cells_.begin(), cells_.end());
 
-  std::set<std::pair<std::size_t, std::size_t>> current;
+  current_.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    auto gx = static_cast<std::int32_t>(std::floor(pos[i].x / cell));
-    auto gy = static_cast<std::int32_t>(std::floor(pos[i].y / cell));
+    auto gx = static_cast<std::int32_t>(std::floor(pos_[i].x / cell));
+    auto gy = static_cast<std::int32_t>(std::floor(pos_[i].y / cell));
     for (int dx = -1; dx <= 1; ++dx)
       for (int dy = -1; dy <= 1; ++dy) {
         std::uint64_t k =
             (static_cast<std::uint64_t>(static_cast<std::uint32_t>(gx + dx)) << 32) |
             static_cast<std::uint32_t>(gy + dy);
-        auto it = grid.find(k);
-        if (it == grid.end()) continue;
-        for (std::size_t j : it->second) {
+        auto it = std::lower_bound(cells_.begin(), cells_.end(),
+                                   std::pair<std::uint64_t, std::size_t>{k, 0});
+        for (; it != cells_.end() && it->first == k; ++it) {
+          std::size_t j = it->second;
           if (j <= i) continue;
-          if (distance(pos[i], pos[j]) <= range_m_) current.insert({i, j});
+          if (distance(pos_[i], pos_[j]) <= range_m_) current_.emplace_back(i, j);
         }
       }
   }
+  std::sort(current_.begin(), current_.end());
 
-  // Diff against the previous contact set.
-  for (const auto& p : current) {
-    if (contacts_.count(p) == 0) {
-      ++total_contacts_;
-      if (on_contact_start) on_contact_start(p.first, p.second);
-    }
-  }
-  for (const auto& p : contacts_) {
-    if (current.count(p) == 0 && on_contact_end) on_contact_end(p.first, p.second);
-  }
-  contacts_ = std::move(current);
+  // Diff against the previous contact set (both sorted).
+  started_.clear();
+  ended_.clear();
+  std::set_difference(current_.begin(), current_.end(), contacts_.begin(), contacts_.end(),
+                      std::back_inserter(started_));
+  std::set_difference(contacts_.begin(), contacts_.end(), current_.begin(), current_.end(),
+                      std::back_inserter(ended_));
+  total_contacts_ += started_.size();
+  if (on_contact_start)
+    for (const auto& p : started_) on_contact_start(p.first, p.second);
+  if (on_contact_end)
+    for (const auto& p : ended_) on_contact_end(p.first, p.second);
+  contacts_.swap(current_);
 }
 
 bool EncounterDetector::in_contact(std::size_t a, std::size_t b) const {
   if (a > b) std::swap(a, b);
-  return contacts_.count({a, b}) > 0;
+  return std::binary_search(contacts_.begin(), contacts_.end(), ContactPair{a, b});
 }
 
 }  // namespace sos::sim

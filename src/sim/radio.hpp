@@ -4,8 +4,10 @@
 // density-sweep benches with hundreds of nodes stay fast.
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <set>
+#include <utility>
+#include <vector>
 
 #include "sim/mobility.hpp"
 #include "sim/scheduler.hpp"
@@ -41,14 +43,24 @@ class EncounterDetector {
   void scan();
 
  private:
+  using ContactPair = std::pair<std::size_t, std::size_t>;
+
   void tick_once(util::SimTime until);
 
   Scheduler& sched_;
   const MobilityModel& mobility_;
   double range_m_;
   util::SimTime tick_;
-  std::set<std::pair<std::size_t, std::size_t>> contacts_;
+  std::vector<ContactPair> contacts_;  // sorted; a < b within each pair
   std::uint64_t total_contacts_ = 0;
+
+  // Scratch buffers reused across ticks so a scan allocates nothing in
+  // steady state (the detector runs every tick for the whole simulation).
+  std::vector<Vec2> pos_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> cells_;  // sorted by cell key
+  std::vector<ContactPair> current_;
+  std::vector<ContactPair> started_;
+  std::vector<ContactPair> ended_;
 };
 
 }  // namespace sos::sim

@@ -6,7 +6,7 @@ EventId Scheduler::schedule_at(util::SimTime t, EventFn fn) {
   if (t < now_) t = now_;  // never schedule into the past
   EventId id = next_id_++;
   queue_.push(Event{t, id, std::move(fn)});
-  ++pending_;
+  queued_.insert(id);
   return id;
 }
 
@@ -15,14 +15,16 @@ EventId Scheduler::schedule_in(util::SimTime dt, EventFn fn) {
 }
 
 void Scheduler::cancel(EventId id) {
-  cancelled_.insert(id);
+  // Only remember cancellations for events still in the queue; a stale id
+  // (already fired or already cancelled) must not accumulate forever.
+  if (queued_.count(id) > 0) cancelled_.insert(id);
 }
 
 bool Scheduler::step() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
-    --pending_;
+    queued_.erase(ev.id);
     if (cancelled_.erase(ev.id) > 0) continue;
     now_ = ev.at;
     ev.fn();
@@ -34,6 +36,14 @@ bool Scheduler::step() {
 void Scheduler::run_until(util::SimTime t) {
   while (!queue_.empty()) {
     const Event& top = queue_.top();
+    // Discard cancelled heads here rather than via step(): step() skips
+    // cancelled events internally and would otherwise run the next LIVE
+    // event even when it lies beyond t.
+    if (cancelled_.erase(top.id) > 0) {
+      queued_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
     if (top.at > t) break;
     step();
   }

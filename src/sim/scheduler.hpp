@@ -24,7 +24,9 @@ class Scheduler {
   EventId schedule_at(util::SimTime t, EventFn fn);
   /// Schedule `fn` dt seconds from now.
   EventId schedule_in(util::SimTime dt, EventFn fn);
-  /// Cancel a pending event (no-op if already fired).
+  /// Cancel a pending event. Cancelling an id that already fired (or was
+  /// already cancelled) is a no-op and leaves no bookkeeping behind, so
+  /// long-running sims can cancel freely without growing state.
   void cancel(EventId id);
 
   /// Run the next event; false when the queue is empty.
@@ -34,7 +36,9 @@ class Scheduler {
   /// Drain the queue completely.
   void run_all();
 
-  std::size_t pending_events() const { return pending_; }
+  std::size_t pending_events() const { return queued_.size(); }
+  /// Cancelled-but-not-yet-popped events (bounded by pending_events()).
+  std::size_t cancelled_backlog() const { return cancelled_.size(); }
 
  private:
   struct Event {
@@ -50,10 +54,10 @@ class Scheduler {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> queued_;     // ids currently in the queue
+  std::unordered_set<EventId> cancelled_;  // subset of queued_
   util::SimTime now_ = 0.0;
   EventId next_id_ = 1;
-  std::size_t pending_ = 0;
 };
 
 }  // namespace sos::sim

@@ -1,0 +1,291 @@
+// Fast-path crypto tests: the table/wNAF/Shamir scalar-multiplication
+// variants cross-checked against the generic double-and-add ladder, the
+// fold-based scalar reduction cross-checked against an independent binary
+// long division, and batch verification (success, isolation of corrupted
+// signatures, malformed inputs).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/ge25519.hpp"
+#include "crypto/sc25519.hpp"
+#include "util/bytes.hpp"
+
+namespace sc = sos::crypto;
+namespace su = sos::util;
+
+namespace {
+
+std::string enc(const sc::GeP3& p) {
+  std::uint8_t s[32];
+  sc::ge_tobytes(s, p);
+  return su::hex_encode(su::ByteView(s, 32));
+}
+
+std::vector<sc::Scalar> interesting_scalars() {
+  std::vector<sc::Scalar> out;
+  sc::Scalar s{};
+  out.push_back(s);  // zero
+  s[0] = 1;
+  out.push_back(s);  // one
+  s[0] = 2;
+  out.push_back(s);  // two
+  sc::Scalar ff;
+  ff.fill(0xff);
+  out.push_back(ff);  // all ones (>= L: the ladders work on raw 256-bit input)
+  sc::Drbg d(su::to_bytes("scalar-cases"));
+  for (int i = 0; i < 12; ++i) out.push_back(d.generate_array<32>());
+  return out;
+}
+
+sc::GeP3 random_point(sc::Drbg& d) {
+  return sc::ge_scalarmult_generic(sc::ge_base(), d.generate_array<32>().data());
+}
+
+// Independent reference: the seed's bit-by-bit binary long division mod L.
+sc::Scalar reference_reduce64(const std::uint8_t in[64]) {
+  const std::uint64_t L[4] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL, 0ULL,
+                              0x1000000000000000ULL};
+  std::uint64_t r[4] = {0, 0, 0, 0};
+  auto geq = [&] {
+    for (int i = 3; i >= 0; --i) {
+      if (r[i] > L[i]) return true;
+      if (r[i] < L[i]) return false;
+    }
+    return true;
+  };
+  for (int bit = 511; bit >= 0; --bit) {
+    std::uint64_t carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      std::uint64_t nc = r[i] >> 63;
+      r[i] = (r[i] << 1) | carry;
+      carry = nc;
+    }
+    r[0] |= (in[bit / 8] >> (bit % 8)) & 1;
+    if (geq()) {
+      unsigned __int128 borrow = 0;
+      for (int i = 0; i < 4; ++i) {
+        unsigned __int128 d = (unsigned __int128)r[i] - L[i] - borrow;
+        r[i] = (std::uint64_t)d;
+        borrow = (d >> 64) & 1;
+      }
+    }
+  }
+  sc::Scalar out;
+  for (int i = 0; i < 4; ++i) su::store64_le(out.data() + 8 * i, r[i]);
+  return out;
+}
+
+}  // namespace
+
+// --- scalar reduction cross-checks -----------------------------------------
+
+TEST(Sc25519, FoldReduceMatchesBinaryDivision) {
+  sc::Drbg d(su::to_bytes("sc-fold"));
+  for (int i = 0; i < 200; ++i) {
+    auto wide = d.generate_array<64>();
+    EXPECT_EQ(sc::sc_reduce64(wide.data()), reference_reduce64(wide.data())) << i;
+  }
+  // Edge patterns: all-zero, all-ones, only high limbs set.
+  std::array<std::uint8_t, 64> x{};
+  EXPECT_EQ(sc::sc_reduce64(x.data()), reference_reduce64(x.data()));
+  x.fill(0xff);
+  EXPECT_EQ(sc::sc_reduce64(x.data()), reference_reduce64(x.data()));
+  x.fill(0);
+  for (int i = 32; i < 64; ++i) x[i] = 0xff;
+  EXPECT_EQ(sc::sc_reduce64(x.data()), reference_reduce64(x.data()));
+}
+
+TEST(Sc25519, MulAddConsistency) {
+  sc::Drbg d(su::to_bytes("sc-muladd"));
+  for (int i = 0; i < 50; ++i) {
+    auto a = sc::sc_reduce32(d.generate_array<32>());
+    auto b = sc::sc_reduce32(d.generate_array<32>());
+    auto c = sc::sc_reduce32(d.generate_array<32>());
+    // a*b + c computed two ways.
+    EXPECT_EQ(sc::sc_muladd(a, b, c), sc::sc_add(sc::sc_mul(a, b), c)) << i;
+    // Results stay canonical.
+    EXPECT_TRUE(sc::sc_is_canonical(sc::sc_mul(a, b)));
+    EXPECT_TRUE(sc::sc_is_canonical(sc::sc_add(a, b)));
+  }
+}
+
+// --- scalar multiplication variants vs the generic ladder -------------------
+
+TEST(Ge25519, FixedBaseTableMatchesGeneric) {
+  for (const auto& s : interesting_scalars()) {
+    EXPECT_EQ(enc(sc::ge_scalarmult_base(s.data())),
+              enc(sc::ge_scalarmult_generic(sc::ge_base(), s.data())));
+  }
+}
+
+TEST(Ge25519, WnafMatchesGeneric) {
+  sc::Drbg d(su::to_bytes("wnaf-points"));
+  for (const auto& s : interesting_scalars()) {
+    sc::GeP3 p = random_point(d);
+    EXPECT_EQ(enc(sc::ge_scalarmult_vartime(p, s.data())),
+              enc(sc::ge_scalarmult_generic(p, s.data())));
+  }
+}
+
+TEST(Ge25519, WnafRandomizedSweepIncludingUnreducedScalars) {
+  // The wNAF recoding carries borrows above bit 255 for full 256-bit
+  // scalars; sweep many unreduced scalars (plus dense-bit patterns) against
+  // the generic ladder.
+  sc::Drbg d(su::to_bytes("wnaf-sweep"));
+  sc::GeP3 p = random_point(d);
+  for (int i = 0; i < 200; ++i) {
+    auto s = d.generate_array<32>();
+    if (i % 4 == 0) s[31] |= 0xe0;            // force the top bits high
+    if (i % 7 == 0) std::memset(s.data() + 24, 0xff, 8);  // dense top limb
+    EXPECT_EQ(enc(sc::ge_scalarmult_vartime(p, s.data())),
+              enc(sc::ge_scalarmult_generic(p, s.data())))
+        << i;
+  }
+}
+
+TEST(Ge25519, ShamirMatchesSeparateMultiplications) {
+  sc::Drbg d(su::to_bytes("shamir"));
+  for (int i = 0; i < 10; ++i) {
+    auto s = d.generate_array<32>();
+    auto k = d.generate_array<32>();
+    sc::GeP3 a = random_point(d);
+    sc::GeP3 combined = sc::ge_double_scalarmult_base_vartime(s.data(), a, k.data());
+    sc::GeP3 sb = sc::ge_scalarmult_generic(sc::ge_base(), s.data());
+    sc::GeP3 ka = sc::ge_scalarmult_generic(a, k.data());
+    EXPECT_EQ(enc(combined), enc(sc::ge_add(sb, sc::ge_to_cached(ka)))) << i;
+  }
+}
+
+TEST(Ge25519, MultiScalarMatchesSumOfProducts) {
+  sc::Drbg d(su::to_bytes("straus"));
+  for (std::size_t n : {0u, 1u, 2u, 5u, 16u}) {
+    std::vector<std::pair<sc::Scalar, sc::GeP3>> terms;
+    sc::GeP3 expected = sc::ge_identity();
+    for (std::size_t t = 0; t < n; ++t) {
+      sc::Scalar z = sc::sc_reduce32(d.generate_array<32>());
+      sc::GeP3 p = random_point(d);
+      terms.emplace_back(z, p);
+      expected = sc::ge_add(expected, sc::ge_to_cached(sc::ge_scalarmult_generic(p, z.data())));
+    }
+    EXPECT_EQ(enc(sc::ge_multi_scalarmult_vartime(terms)), enc(expected)) << n;
+  }
+}
+
+TEST(Ge25519, IdentityPredicates) {
+  EXPECT_TRUE(sc::ge_is_identity(sc::ge_identity()));
+  EXPECT_FALSE(sc::ge_is_identity(sc::ge_base()));
+  // P - P == identity via the sub path.
+  sc::Drbg d(su::to_bytes("ident"));
+  sc::GeP3 p = random_point(d);
+  EXPECT_TRUE(sc::ge_is_identity(sc::ge_sub(p, sc::ge_to_cached(p))));
+}
+
+// --- batch verification -------------------------------------------------------
+
+namespace {
+struct SignedMsg {
+  sc::Ed25519Keypair kp;
+  su::Bytes msg;
+  sc::EdSignature sig;
+};
+
+std::vector<SignedMsg> make_signed(std::size_t n, const std::string& label) {
+  sc::Drbg d(su::to_bytes("batch-" + label));
+  std::vector<SignedMsg> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    SignedMsg s;
+    s.kp = sc::Ed25519Keypair::from_seed(d.generate_array<32>());
+    s.msg = d.generate(32 + i * 7);
+    s.sig = s.kp.sign(s.msg);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<sc::EdBatchItem> to_items(const std::vector<SignedMsg>& sm) {
+  std::vector<sc::EdBatchItem> items;
+  for (const auto& s : sm) items.push_back({s.kp.public_key(), s.msg, s.sig});
+  return items;
+}
+}  // namespace
+
+TEST(Ed25519Batch, AllValidPasses) {
+  auto sm = make_signed(8, "valid");
+  std::vector<bool> verdicts;
+  EXPECT_TRUE(sc::ed25519_verify_batch(to_items(sm), &verdicts));
+  ASSERT_EQ(verdicts.size(), 8u);
+  for (bool v : verdicts) EXPECT_TRUE(v);
+}
+
+TEST(Ed25519Batch, EmptyAndSingle) {
+  EXPECT_TRUE(sc::ed25519_verify_batch({}));
+  auto sm = make_signed(1, "single");
+  std::vector<bool> verdicts;
+  EXPECT_TRUE(sc::ed25519_verify_batch(to_items(sm), &verdicts));
+  EXPECT_TRUE(verdicts[0]);
+}
+
+TEST(Ed25519Batch, CorruptedSignatureFailsBatchAndIsIsolated) {
+  auto sm = make_signed(8, "corrupt-sig");
+  auto items = to_items(sm);
+  items[3].sig[10] ^= 0x01;  // flip one bit of R
+  std::vector<bool> verdicts;
+  EXPECT_FALSE(sc::ed25519_verify_batch(items, &verdicts));
+  for (std::size_t i = 0; i < verdicts.size(); ++i) EXPECT_EQ(verdicts[i], i != 3) << i;
+}
+
+TEST(Ed25519Batch, CorruptedScalarHalfIsIsolated) {
+  auto sm = make_signed(6, "corrupt-s");
+  auto items = to_items(sm);
+  items[5].sig[40] ^= 0x80;  // flip a bit of S
+  std::vector<bool> verdicts;
+  EXPECT_FALSE(sc::ed25519_verify_batch(items, &verdicts));
+  for (std::size_t i = 0; i < verdicts.size(); ++i) EXPECT_EQ(verdicts[i], i != 5) << i;
+}
+
+TEST(Ed25519Batch, TamperedMessageIsIsolated) {
+  auto sm = make_signed(5, "tamper-msg");
+  sm[2].msg[0] ^= 0xff;
+  std::vector<bool> verdicts;
+  EXPECT_FALSE(sc::ed25519_verify_batch(to_items(sm), &verdicts));
+  for (std::size_t i = 0; i < verdicts.size(); ++i) EXPECT_EQ(verdicts[i], i != 2) << i;
+}
+
+TEST(Ed25519Batch, WrongKeyIsIsolated) {
+  auto sm = make_signed(4, "wrong-key");
+  auto items = to_items(sm);
+  items[1].pub = sm[0].kp.public_key();
+  std::vector<bool> verdicts;
+  EXPECT_FALSE(sc::ed25519_verify_batch(items, &verdicts));
+  for (std::size_t i = 0; i < verdicts.size(); ++i) EXPECT_EQ(verdicts[i], i != 1) << i;
+}
+
+TEST(Ed25519Batch, NonCanonicalScalarRejected) {
+  auto sm = make_signed(3, "noncanon");
+  auto items = to_items(sm);
+  for (int i = 32; i < 64; ++i) items[0].sig[i] = 0xff;  // S >= L
+  std::vector<bool> verdicts;
+  EXPECT_FALSE(sc::ed25519_verify_batch(items, &verdicts));
+  for (std::size_t i = 0; i < verdicts.size(); ++i) EXPECT_EQ(verdicts[i], i != 0) << i;
+}
+
+TEST(Ed25519Batch, BatchAgreesWithSingleVerifyOnRandomInputs) {
+  // Sweep batches with randomly injected corruption; batch verdicts must
+  // match per-signature ed25519_verify exactly.
+  sc::Drbg d(su::to_bytes("agree"));
+  for (int round = 0; round < 6; ++round) {
+    auto sm = make_signed(6, "agree-" + std::to_string(round));
+    auto items = to_items(sm);
+    for (auto& item : items)
+      if (d.generate_array<1>()[0] & 1) item.sig[d.generate_array<1>()[0] % 64] ^= 0x04;
+    std::vector<bool> verdicts;
+    sc::ed25519_verify_batch(items, &verdicts);
+    for (std::size_t i = 0; i < items.size(); ++i)
+      EXPECT_EQ(verdicts[i], sc::ed25519_verify(items[i].pub, items[i].msg, items[i].sig)) << i;
+  }
+}
