@@ -3,6 +3,7 @@
 // 0.25-4 km^2) and that "further investigations at higher densities are
 // needed". This bench performs that investigation: node-count and area
 // sweeps under IB routing.
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -25,21 +26,29 @@ void run_cell(deploy::Table& t, std::size_t nodes, double w_m, double h_m, doubl
   const auto& oracle = result.oracle;
   auto delays = oracle.delay_cdf(false);
   double density = static_cast<double>(nodes) / (w_m / 1000.0 * h_m / 1000.0);
+  // Sessions that skipped the X25519 + cert exchange on a recurring contact.
+  double resume_share = result.totals.sessions_established == 0
+                            ? 0.0
+                            : static_cast<double>(result.totals.sessions_resumed) /
+                                  static_cast<double>(result.totals.sessions_established);
   t.add_row({std::to_string(nodes), deploy::fmt(w_m / 1000.0 * h_m / 1000.0, 1),
              deploy::fmt(density, 2), std::to_string(result.contacts),
              std::to_string(oracle.delivery_count()),
              deploy::fmt(oracle.overall_delivery_ratio(), 3),
              delays.empty() ? "-" : util::format_duration(delays.quantile(0.5)),
-             deploy::fmt(oracle.one_hop_fraction(), 3)});
+             deploy::fmt(oracle.one_hop_fraction(), 3), deploy::fmt(resume_share, 2)});
 }
 }  // namespace
 
 int main() {
   deploy::print_heading("Density ablation (the paper's suggested follow-up)");
 
-  std::printf("3-day runs, IB routing, ~26 posts/user/week equivalent.\n\n");
+  std::printf("3-day runs, IB routing, ~26 posts/user/week equivalent.\n"
+              "Recurring contacts resume cached sessions (resume share below);\n"
+              "set ScenarioConfig::resume_lifetime_s = 0 for the full-handshake-\n"
+              "per-contact baseline.\n\n");
   deploy::Table t({"nodes", "area km^2", "nodes/km^2", "encounters", "deliveries",
-                   "delivery ratio", "median delay", "1-hop share"});
+                   "delivery ratio", "median delay", "1-hop share", "resumed"});
 
   // Paper's own operating point (sparse) down to simulation-dense setups.
   run_cell(t, 10, 11000, 8000, 3);   // the deployment: 0.11 nodes/km^2
@@ -56,5 +65,34 @@ int main() {
               "density, binds delivery latency. Higher density buys reach (more\n"
               "subscribers served, more relay paths), not speed: exactly the regime\n"
               "distinction the paper asks future work to quantify.\n");
+
+  // --- session-churn sweep: the resumption ablation --------------------------
+  // Recurring-pair-heavy shape: a dense epidemic deployment over a full week
+  // with almost no content, so per-encounter session setup (cert exchange +
+  // X25519 + key schedule) dominates and most contacts are re-contacts.
+  deploy::print_heading("Session churn (recurring-pair sweep)");
+  std::printf("7-day epidemic runs, 40 nodes / 1 km^2, 20 posts total: contact\n"
+              "setup dominates. Resumption lifetime 2 days (covers the daily\n"
+              "routine's day-boundary re-contacts).\n\n");
+  deploy::Table churn({"resumption", "sessions", "full handshakes", "resumed",
+                       "X25519 ops", "wall s"});
+  for (bool resume_on : {false, true}) {
+    deploy::ScenarioConfig config = deploy::gainesville_config("epidemic");
+    config.nodes = 40;
+    config.area_w_m = 1000;
+    config.area_h_m = 1000;
+    config.days = 7;
+    config.total_posts_target = 20.0;
+    config.resume_lifetime_s = resume_on ? 172800.0 : 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = deploy::run_scenario(config);
+    double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    churn.add_row({resume_on ? "on" : "off",
+                   std::to_string(result.totals.sessions_established),
+                   std::to_string(result.totals.full_handshakes),
+                   std::to_string(result.totals.sessions_resumed),
+                   std::to_string(result.totals.ecdh_ops), deploy::fmt(wall, 2)});
+  }
+  churn.print();
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "bundle/store.hpp"
 #include "crypto/drbg.hpp"
+#include "deploy/scenario.hpp"
 #include "mw/sos_node.hpp"
 #include "pki/bootstrap.hpp"
 #include "sim/multipeer.hpp"
@@ -25,12 +26,14 @@ BENCHMARK(BM_SignupFlow);
 
 static void BM_SessionHandshake(benchmark::State& state) {
   // Two nodes: connect + cert exchange + ECDH + key schedule, repeatedly.
+  // Resumption is disabled so every contact pays the full handshake.
   pki::BootstrapService infra(util::to_bytes("hs-infra"));
   crypto::Drbg d0(util::to_bytes("hs-0")), d1(util::to_bytes("hs-1"));
   sim::Scheduler sched;
   sim::MpcNetwork net(sched, 2);
   mw::SosConfig config;
   config.maintenance_interval_s = 0;
+  config.resume_lifetime_s = 0;
   mw::SosNode a(sched, net.endpoint(0), *infra.signup("hs-a", d0, 0), config);
   mw::SosNode b(sched, net.endpoint(1), *infra.signup("hs-b", d1, 0), config);
   a.start();
@@ -47,6 +50,40 @@ static void BM_SessionHandshake(benchmark::State& state) {
       static_cast<double>(a.stats().sessions_established);
 }
 BENCHMARK(BM_SessionHandshake);
+
+static void BM_SessionResume(benchmark::State& state) {
+  // Same meet/part cycle as BM_SessionHandshake, but with resumption on:
+  // the first contact pays the full handshake, every subsequent contact is
+  // a 1-RTT HMAC resume with zero X25519 operations. Compare directly
+  // against BM_SessionHandshake for the per-recurring-contact saving.
+  pki::BootstrapService infra(util::to_bytes("rs-infra"));
+  crypto::Drbg d0(util::to_bytes("rs-0")), d1(util::to_bytes("rs-1"));
+  sim::Scheduler sched;
+  sim::MpcNetwork net(sched, 2);
+  mw::SosConfig config;
+  config.maintenance_interval_s = 0;
+  config.resume_lifetime_s = 1e12;  // never expires within the bench
+  mw::SosNode a(sched, net.endpoint(0), *infra.signup("rs-a", d0, 0), config);
+  mw::SosNode b(sched, net.endpoint(1), *infra.signup("rs-b", d1, 0), config);
+  a.start();
+  b.start();
+  a.follow(b.user_id());
+  b.publish(util::to_bytes("content"));
+  // Prime the resumption cache with one full handshake outside the timing.
+  net.set_in_range(0, 1, true);
+  sched.run_all();
+  net.set_in_range(0, 1, false);
+  sched.run_all();
+  for (auto _ : state) {
+    net.set_in_range(0, 1, true);
+    sched.run_all();
+    net.set_in_range(0, 1, false);
+    sched.run_all();
+  }
+  state.counters["resumed"] = static_cast<double>(a.stats().sessions_resumed);
+  state.counters["ecdh_ops"] = static_cast<double>(a.stats().ecdh_ops);
+}
+BENCHMARK(BM_SessionResume);
 
 static void BM_BundleSignVerify(benchmark::State& state) {
   crypto::Drbg d(util::to_bytes("bv"));
@@ -125,6 +162,29 @@ static void BM_StoreSummary(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(store.summary());
 }
 BENCHMARK(BM_StoreSummary)->Arg(200)->Arg(2000);
+
+static void BM_DensityCell(benchmark::State& state) {
+  // End-to-end recurring-pair-heavy scenario (the ablation_density session
+  // churn sweep): a dense 7-day epidemic deployment with almost no content,
+  // so per-encounter session setup dominates the run. range(0)==1 enables
+  // session resumption (2-day lifetime, covering day-boundary re-contacts);
+  // range(0)==0 is the full-handshake-per-contact baseline.
+  for (auto _ : state) {
+    deploy::ScenarioConfig config = deploy::gainesville_config("epidemic");
+    config.nodes = 40;
+    config.area_w_m = 1000;
+    config.area_h_m = 1000;
+    config.days = 7;
+    config.total_posts_target = 20.0;
+    config.resume_lifetime_s = state.range(0) == 1 ? 172800.0 : 0.0;
+    auto result = deploy::run_scenario(config);
+    benchmark::DoNotOptimize(result.totals.deliveries);
+    state.counters["resumed"] = static_cast<double>(result.totals.sessions_resumed);
+    state.counters["full_hs"] = static_cast<double>(result.totals.full_handshakes);
+    state.counters["ecdh_ops"] = static_cast<double>(result.totals.ecdh_ops);
+  }
+}
+BENCHMARK(BM_DensityCell)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 static void BM_StoreNewerThan(benchmark::State& state) {
   bundle::BundleStore store(100000);

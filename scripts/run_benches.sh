@@ -8,6 +8,19 @@ set -euo pipefail
 build_dir="${1:?usage: run_benches.sh <build-dir> [repo-root]}"
 repo_root="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
 
+# Fail before running anything if a bench binary is missing: otherwise the
+# script would die mid-way having refreshed only some BENCH_*.json files,
+# leaving a silently inconsistent snapshot.
+missing=0
+for bench in bench_micro_crypto bench_micro_middleware; do
+  if [[ ! -x "$build_dir/$bench" ]]; then
+    echo "error: $build_dir/$bench not found or not executable" >&2
+    echo "       (build it first: cmake --build $build_dir --target $bench)" >&2
+    missing=1
+  fi
+done
+[[ $missing -eq 0 ]] || exit 1
+
 "$build_dir/bench_micro_crypto" \
   --benchmark_out="$repo_root/BENCH_crypto.json" \
   --benchmark_out_format=json \

@@ -1,5 +1,7 @@
 #include "bundle/store.hpp"
 
+#include <limits>
+
 namespace sos::bundle {
 
 bool BundleStore::insert(Bundle b, util::SimTime now) {
@@ -38,6 +40,9 @@ std::map<pki::UserId, std::uint32_t> BundleStore::summary() const {
 std::vector<Bundle> BundleStore::newer_than(const pki::UserId& origin,
                                             std::uint32_t after) const {
   std::vector<Bundle> out;
+  // Nothing can be newer than the maximum message number — and `after + 1`
+  // would wrap to 0 and rescan the origin's whole range.
+  if (after == std::numeric_limits<std::uint32_t>::max()) return out;
   // BundleId ordering is (origin, msg_num), so this is a range scan.
   auto it = bundles_.lower_bound(BundleId{origin, after + 1});
   for (; it != bundles_.end() && it->first.origin == origin; ++it)

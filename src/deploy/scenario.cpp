@@ -89,6 +89,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     auto creds = infra.signup("user" + std::to_string(i), device, sched.now());
     mw::SosConfig mw_config;
     mw_config.scheme = config.scheme;
+    mw_config.resume_lifetime_s = config.resume_lifetime_s;
     nodes.push_back(std::make_unique<mw::SosNode>(
         sched, net.endpoint(static_cast<sim::PeerId>(i)), std::move(*creds), mw_config));
     apps.push_back(std::make_unique<alleyoop::App>(*nodes.back(), &cloud));
@@ -155,6 +156,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     const mw::NodeStats& s = node->stats();
     result.totals.sessions_established += s.sessions_established;
     result.totals.sessions_lost += s.sessions_lost;
+    result.totals.full_handshakes += s.full_handshakes;
+    result.totals.sessions_resumed += s.sessions_resumed;
+    result.totals.resume_attempts += s.resume_attempts;
+    result.totals.resume_rejected += s.resume_rejected;
+    result.totals.ecdh_ops += s.ecdh_ops;
     result.totals.handshake_cert_rejected += s.handshake_cert_rejected;
     result.totals.handshake_sig_rejected += s.handshake_sig_rejected;
     result.totals.frames_sent += s.frames_sent;

@@ -29,6 +29,10 @@ struct ScenarioConfig {
   sim::DailyRoutineParams mobility{};  // homes + campus hotspots + sleep
   double encounter_tick_s = 30.0;
 
+  /// Session-resumption secret lifetime handed to each node's SosConfig
+  /// (0 = every contact pays the full cert-exchange + X25519 handshake).
+  double resume_lifetime_s = 86400.0;
+
   /// Social graph; node i follows node j iff edge (i, j). Defaults to the
   /// reconstructed Fig 4a graph when nodes == 10, otherwise a sampled
   /// campus community of matching density.

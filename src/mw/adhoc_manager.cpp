@@ -4,6 +4,7 @@
 
 #include "crypto/aead.hpp"
 #include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/x25519.hpp"
 #include "util/log.hpp"
@@ -11,9 +12,11 @@
 namespace sos::mw {
 
 namespace {
-// Outer wire byte: distinguishes the plaintext Hello from sealed traffic.
+// Outer wire byte: distinguishes the plaintext handshake frames (Hello,
+// Resume) from sealed traffic.
 constexpr std::uint8_t kOuterHello = 1;
 constexpr std::uint8_t kOuterSealed = 2;
+constexpr std::uint8_t kOuterResume = 3;
 
 void make_nonce(std::uint8_t nonce[12], std::uint64_t counter) {
   std::memset(nonce, 0, 12);
@@ -27,7 +30,8 @@ AdHocManager::AdHocManager(sim::Scheduler& sched, sim::MpcEndpoint& endpoint,
       endpoint_(endpoint),
       creds_(creds),
       stats_(stats),
-      session_rng_(util::concat(util::to_bytes("session-rng-"), creds.user_id.view())) {
+      session_rng_(util::concat(util::to_bytes("session-rng-"), creds.user_id.view())),
+      own_fingerprint_(cert_fingerprint(creds.certificate)) {
   endpoint_.on_peer_found = [this](sim::PeerId peer, const sim::DiscoveryInfo& info) {
     if (!on_peer_advert) return;
     std::map<pki::UserId, std::uint32_t> parsed;
@@ -99,6 +103,18 @@ std::vector<sim::PeerId> AdHocManager::secure_peers() const {
 }
 
 void AdHocManager::handle_connected(sim::PeerId peer) {
+  // Recurring contact with a cached, unexpired resumption secret: open with
+  // the 1-RTT Resume instead of the full handshake. A stale hint or a cache
+  // miss on the peer's side degrades gracefully to Hello.
+  if (resume_lifetime_s_ > 0) {
+    auto hint = resume_hint_.find(peer);
+    if (hint != resume_hint_.end()) {
+      if (ResumeEntry* entry = resume_lookup(hint->second)) {
+        send_resume(peer, *entry);
+        return;
+      }
+    }
+  }
   send_hello(peer);
 }
 
@@ -107,6 +123,7 @@ void AdHocManager::send_hello(sim::PeerId peer) {
   if (s.hello_sent) return;
   s.eph_priv = crypto::x25519_clamp(session_rng_.generate_array<32>());
   s.eph_pub = crypto::x25519_base(s.eph_priv);
+  ++stats_.ecdh_ops;
   s.hello_sent = true;
 
   HelloFrame hello;
@@ -148,10 +165,23 @@ void AdHocManager::handle_hello(sim::PeerId peer, util::ByteView payload) {
   }
 
   Session& s = sessions_[peer];
+  if (s.secure && s.resumed && s.recv_ctr == 0) {
+    // The peer fell back to a full handshake after we accepted a resume
+    // (its cached secret aged out or was evicted between our frames). Our
+    // resumed keys are orphaned: tear the session down and take the full
+    // handshake so both sides converge on one key schedule. Only the
+    // pre-traffic window qualifies — once a sealed frame has authenticated
+    // under the resumed keys the peer demonstrably holds them, so a Hello
+    // arriving later is stale or replayed and must not kill the session.
+    ++stats_.sessions_lost;
+    if (on_session_down) on_session_down(peer);
+    s = Session{};
+  }
+  if (s.secure) return;  // duplicate/replayed hello on an established session
   if (!s.hello_sent) send_hello(peer);
-  if (s.secure) return;  // duplicate hello
 
   auto shared = crypto::x25519(s.eph_priv, hello->ephemeral_pub);
+  ++stats_.ecdh_ops;
   // Directional keys: the lexicographically smaller ephemeral key sends
   // with the first half of the OKM.
   bool mine_first =
@@ -162,15 +192,198 @@ void AdHocManager::handle_hello(sim::PeerId peer, util::ByteView payload) {
   } else {
     salt = util::concat(hello->ephemeral_pub, s.eph_pub);
   }
-  auto okm = crypto::hkdf(salt, shared, util::to_bytes("sos-session-v1"), 64);
+  // 96 bytes: 64 for the directional session keys plus 32 for the
+  // resumption master secret. HKDF-Expand output is prefix-stable, so the
+  // session keys are identical to the pre-resumption 64-byte schedule.
+  auto okm = crypto::hkdf(salt, shared, util::to_bytes("sos-session-v1"), 96);
+  ++stats_.full_handshakes;
+  if (resume_lifetime_s_ > 0) {
+    ResumeEntry entry;
+    std::memcpy(entry.secret.data(), okm.data() + 64, entry.secret.size());
+    entry.cert = *cert;
+    entry.established_at = sched_.now();
+    resume_cache_store(cert_fingerprint(*cert), std::move(entry));
+  }
+  mark_session_secure(peer, s, okm, mine_first, *cert);
+}
+
+void AdHocManager::mark_session_secure(sim::PeerId peer, Session& s, const util::Bytes& okm,
+                                       bool mine_first, const pki::Certificate& peer_cert) {
   std::memcpy(s.send_key, okm.data() + (mine_first ? 0 : 32), 32);
   std::memcpy(s.recv_key, okm.data() + (mine_first ? 32 : 0), 32);
   s.send_ctr = 0;
   s.recv_ctr = 0;
-  s.peer_cert = *cert;
+  s.peer_cert = peer_cert;
   s.secure = true;
   ++stats_.sessions_established;
+  // Remember which identity answers on this transport id so the next
+  // contact can open with Resume.
+  resume_hint_[peer] = cert_fingerprint(s.peer_cert);
   if (on_secure_session) on_secure_session(peer, s.peer_cert);
+}
+
+AdHocManager::Fingerprint AdHocManager::cert_fingerprint(const pki::Certificate& cert) {
+  // Covers body and issuer signature: two certificates binding the same
+  // identity but differing in any field hash to different entries.
+  return crypto::Sha256::hash(cert.encode());
+}
+
+void AdHocManager::send_resume(sim::PeerId peer, const ResumeEntry& entry) {
+  Session& s = sessions_[peer];
+  if (s.resume_sent || s.hello_sent || s.secure) return;
+  s.resume_nonce = session_rng_.generate_array<32>();
+  // Snapshot the secret and certificate the attempt runs under: the peer's
+  // answer is verified against this snapshot, immune to the cache entry
+  // expiring or being evicted while the frames are in flight.
+  s.resume_secret = entry.secret;
+  s.resume_cert = entry.cert;
+  s.resume_sent = true;
+
+  ResumeFrame frame;
+  frame.fingerprint = own_fingerprint_;
+  frame.nonce = s.resume_nonce;
+  frame.proof = crypto::hmac_sha256(util::ByteView(entry.secret.data(), entry.secret.size()),
+                                    frame.signing_bytes());
+  util::Bytes wire;
+  wire.push_back(kOuterResume);
+  util::append(wire, frame.encode());
+  ++stats_.frames_sent;
+  ++stats_.resume_attempts;
+  endpoint_.send(peer, std::move(wire));
+}
+
+void AdHocManager::handle_resume(sim::PeerId peer, util::ByteView payload) {
+  auto frame = ResumeFrame::decode(payload);
+  if (!frame) {
+    ++stats_.malformed_frames;
+    return;
+  }
+  Session& s = sessions_[peer];
+  if (s.secure) return;  // late duplicate on an established session
+
+  // Locate the shared secret the proof claims: the snapshot of our own
+  // in-flight attempt, or the cache entry for the claimed identity.
+  const std::uint8_t* secret = nullptr;
+  const pki::Certificate* peer_cert = nullptr;
+  if (s.resume_sent) {
+    if (frame->fingerprint != cert_fingerprint(s.resume_cert)) {
+      // A different identity than the one we initiated with answered.
+      ++stats_.resume_rejected;
+      send_hello(peer);
+      return;
+    }
+    secret = s.resume_secret.data();
+    peer_cert = &s.resume_cert;
+  } else {
+    ResumeEntry* entry = resume_lookup(frame->fingerprint);
+    if (entry == nullptr) {
+      // Unknown identity, expired secret, or revoked certificate: make the
+      // peer pay the full handshake.
+      ++stats_.resume_rejected;
+      send_hello(peer);
+      return;
+    }
+    secret = entry->secret.data();
+    peer_cert = &entry->cert;
+  }
+  util::ByteView secret_view(secret, 32);
+  auto expect = crypto::hmac_sha256(secret_view, frame->signing_bytes());
+  if (!util::ct_equal(util::ByteView(expect.data(), expect.size()),
+                      util::ByteView(frame->proof.data(), frame->proof.size()))) {
+    // Proof failure: a desynchronized secret or an active attacker. Fall
+    // back to the full handshake; the cache entry is NOT erased, so a
+    // spoofer cannot wipe legitimate resumption state.
+    ++stats_.resume_rejected;
+    send_hello(peer);
+    return;
+  }
+  if (s.hello_sent) return;  // already committed to a full handshake
+
+  if (!s.resume_sent) {
+    // Responder role: answer with our own proof before deriving.
+    ResumeEntry snapshot;
+    std::memcpy(snapshot.secret.data(), secret, snapshot.secret.size());
+    snapshot.cert = *peer_cert;
+    send_resume(peer, snapshot);
+  }
+  // Fresh session keys from both nonces under the cached secret — the same
+  // directional-split rule as the full handshake, keyed on the nonces.
+  bool mine_first =
+      std::memcmp(s.resume_nonce.data(), frame->nonce.data(), s.resume_nonce.size()) < 0;
+  util::Bytes salt;
+  if (mine_first) {
+    salt = util::concat(s.resume_nonce, frame->nonce);
+  } else {
+    salt = util::concat(frame->nonce, s.resume_nonce);
+  }
+  auto okm = crypto::hkdf(salt, util::ByteView(s.resume_secret.data(), 32),
+                          util::to_bytes("sos-resume-v1"), 64);
+  s.resumed = true;
+  ++stats_.sessions_resumed;
+  mark_session_secure(peer, s, okm, mine_first, s.resume_cert);
+}
+
+AdHocManager::ResumeEntry* AdHocManager::resume_lookup(const Fingerprint& fp) {
+  if (resume_lifetime_s_ <= 0) return nullptr;
+  auto it = resume_cache_.find(fp);
+  if (it == resume_cache_.end()) return nullptr;
+  if (sched_.now() > it->second.established_at + resume_lifetime_s_) {
+    // Expired: the forward-secrecy window closed; the next contact pays the
+    // full handshake and mints a fresh secret.
+    resume_cache_erase(it);
+    return nullptr;
+  }
+  // The certificate behind the secret is re-validated on every use: a
+  // revoked or expired identity must not ride a cached secret past the CRL.
+  if (creds_.trust.verify(it->second.cert, sched_.now()) != pki::VerifyResult::Ok) {
+    resume_cache_erase(it);
+    return nullptr;
+  }
+  resume_lru_.splice(resume_lru_.begin(), resume_lru_, it->second.lru_it);
+  return &it->second;
+}
+
+void AdHocManager::resume_cache_store(const Fingerprint& fp, ResumeEntry entry) {
+  auto it = resume_cache_.find(fp);
+  if (it != resume_cache_.end()) {
+    entry.lru_it = it->second.lru_it;
+    it->second = std::move(entry);
+    resume_lru_.splice(resume_lru_.begin(), resume_lru_, it->second.lru_it);
+    return;
+  }
+  resume_lru_.push_front(fp);
+  entry.lru_it = resume_lru_.begin();
+  resume_cache_.emplace(fp, std::move(entry));
+  while (resume_cache_.size() > resume_cache_capacity_) {
+    resume_cache_.erase(resume_lru_.back());
+    resume_lru_.pop_back();
+  }
+}
+
+void AdHocManager::resume_cache_erase(std::map<Fingerprint, ResumeEntry>::iterator it) {
+  resume_lru_.erase(it->second.lru_it);
+  resume_cache_.erase(it);
+}
+
+void AdHocManager::set_resume_lifetime(util::SimTime lifetime_s) {
+  resume_lifetime_s_ = lifetime_s;
+  if (resume_lifetime_s_ <= 0) {
+    resume_cache_.clear();
+    resume_lru_.clear();
+  }
+}
+
+void AdHocManager::set_resume_cache_capacity(std::size_t capacity) {
+  resume_cache_capacity_ = capacity > 0 ? capacity : 1;
+  while (resume_cache_.size() > resume_cache_capacity_) {
+    resume_cache_.erase(resume_lru_.back());
+    resume_lru_.pop_back();
+  }
+}
+
+void AdHocManager::forget_resume_secret(const std::array<std::uint8_t, 32>& fingerprint) {
+  auto it = resume_cache_.find(fingerprint);
+  if (it != resume_cache_.end()) resume_cache_erase(it);
 }
 
 void AdHocManager::send_frame(sim::PeerId peer, FrameType type, util::ByteView payload) {
@@ -203,6 +416,10 @@ void AdHocManager::handle_receive(sim::PeerId peer, util::Bytes wire) {
   util::ByteView body(wire.data() + 1, wire.size() - 1);
   if (outer == kOuterHello) {
     handle_hello(peer, body);
+    return;
+  }
+  if (outer == kOuterResume) {
+    handle_resume(peer, body);
     return;
   }
   if (outer != kOuterSealed) {

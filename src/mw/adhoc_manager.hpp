@@ -5,6 +5,25 @@
 // validating certificates, and signing/verifying forwarded data. Unlike
 // real MPC, whose encryption Apple does not document, this handshake is
 // fully specified here (DESIGN.md substitution #4).
+//
+// Recurring contacts — the common case under human mobility — skip the
+// cert exchange + ECDH entirely: each full handshake also derives a
+// resumption master secret (extra HKDF output), cached per peer-certificate
+// fingerprint in an LRU with a configurable lifetime. On re-contact both
+// sides exchange one plaintext Resume frame (fingerprint + fresh nonce +
+// HMAC proof under the cached secret) and derive fresh session keys via
+// HKDF over both nonces; any miss, expiry, revoked certificate, or bad
+// proof falls back to the full handshake. Forward secrecy therefore
+// degrades only within the resumption lifetime.
+//
+// Like TLS 1.3 0-RTT, the Resume frame itself is replayable (the proof
+// covers only the sender fingerprint + nonce, not the connection): a
+// replay can at worst open a half-session whose traffic the replayer
+// cannot read, inject into, or complete — a DoS-class nuisance equivalent
+// to the garbage-injection attacks the session layer already tolerates.
+// A replayed Hello cannot tear down a live resumed session either: the
+// full-handshake fallback is honored only before any sealed frame has
+// authenticated under the resumed keys.
 #pragma once
 
 #include <array>
@@ -65,6 +84,19 @@ class AdHocManager {
   /// Bound the verified-bundle cache (callers tie this to store capacity).
   void set_verify_cache_capacity(std::size_t capacity);
 
+  /// Enable session resumption with the given secret lifetime in
+  /// sim-seconds (0, the default, disables it: every contact pays the full
+  /// handshake). Expiry is measured from the last FULL handshake, so the
+  /// forward-secrecy window never stretches through chained resumes.
+  void set_resume_lifetime(util::SimTime lifetime_s);
+  /// Bound the per-peer resumption-secret cache (LRU).
+  void set_resume_cache_capacity(std::size_t capacity);
+  /// Resumption entries currently cached (tests/introspection).
+  std::size_t resume_cache_size() const { return resume_cache_.size(); }
+  /// Drop the cached resumption secret for one peer certificate
+  /// fingerprint (e.g. after an app-level trust change).
+  void forget_resume_secret(const std::array<std::uint8_t, 32>& fingerprint);
+
   sim::Scheduler& scheduler() { return sched_; }
 
   // --- callbacks up to the message manager -------------------------------
@@ -85,11 +117,27 @@ class AdHocManager {
     crypto::X25519Key eph_pub{};
     bool hello_sent = false;
     bool secure = false;
+    bool resumed = false;  // secure via Resume (vs full handshake)
+    // Resume attempt in flight: our nonce plus a snapshot of the secret and
+    // peer certificate it was made under (snapshotting avoids a second
+    // cache lookup racing expiry between our send and the peer's reply).
+    bool resume_sent = false;
+    std::array<std::uint8_t, 32> resume_nonce{};
+    std::array<std::uint8_t, 32> resume_secret{};
+    pki::Certificate resume_cert;
     std::uint8_t send_key[32] = {0};
     std::uint8_t recv_key[32] = {0};
     std::uint64_t send_ctr = 0;
     std::uint64_t recv_ctr = 0;
     pki::Certificate peer_cert;
+  };
+
+  using Fingerprint = std::array<std::uint8_t, 32>;
+  struct ResumeEntry {
+    std::array<std::uint8_t, 32> secret{};  // resumption master secret
+    pki::Certificate cert;                  // peer cert from the full handshake
+    util::SimTime established_at = 0;       // time of that full handshake
+    std::list<Fingerprint>::iterator lru_it;
   };
 
   using VerifyDigest = std::array<std::uint8_t, 32>;
@@ -114,6 +162,16 @@ class AdHocManager {
   void handle_receive(sim::PeerId peer, util::Bytes wire);
   void handle_hello(sim::PeerId peer, util::ByteView payload);
   void send_hello(sim::PeerId peer);
+  void handle_resume(sim::PeerId peer, util::ByteView payload);
+  void send_resume(sim::PeerId peer, const ResumeEntry& entry);
+  /// Valid unexpired cache entry for `fp`, with the certificate policy
+  /// re-checked at `now`; erases and returns nullptr on expiry/revocation.
+  ResumeEntry* resume_lookup(const Fingerprint& fp);
+  void resume_cache_store(const Fingerprint& fp, ResumeEntry entry);
+  void resume_cache_erase(std::map<Fingerprint, ResumeEntry>::iterator it);
+  void mark_session_secure(sim::PeerId peer, Session& s, const util::Bytes& okm,
+                           bool mine_first, const pki::Certificate& peer_cert);
+  static Fingerprint cert_fingerprint(const pki::Certificate& cert);
   static sim::DiscoveryInfo to_discovery_info(
       const std::map<pki::UserId, std::uint32_t>& entries);
 
@@ -129,6 +187,21 @@ class AdHocManager {
   std::map<bundle::BundleId, VerifyCacheEntry> verify_cache_;
   std::list<bundle::BundleId> verify_lru_;  // front = most recently used
   std::size_t verify_cache_capacity_ = 4096;
+
+  // Session-resumption cache: peer cert fingerprint -> resumption master
+  // secret from the last full handshake with that identity. LRU-bounded;
+  // entries expire resume_lifetime_s_ after the full handshake that minted
+  // them. Keyed by certificate (not radio PeerId) so a peer that reappears
+  // under a different transport id still resumes.
+  std::map<Fingerprint, ResumeEntry> resume_cache_;
+  std::list<Fingerprint> resume_lru_;  // front = most recently used
+  std::size_t resume_cache_capacity_ = 256;
+  util::SimTime resume_lifetime_s_ = 0;  // 0 = resumption disabled
+  // Last authenticated identity seen on each transport peer id: the hint
+  // that lets us open with Resume instead of Hello. A stale hint (device
+  // swapped behind the id) just fails the proof and falls back.
+  std::map<sim::PeerId, Fingerprint> resume_hint_;
+  Fingerprint own_fingerprint_{};
 };
 
 }  // namespace sos::mw

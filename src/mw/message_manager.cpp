@@ -1,5 +1,7 @@
 #include "mw/message_manager.hpp"
 
+#include <algorithm>
+
 namespace sos::mw {
 
 MessageManager::MessageManager(AdHocManager& adhoc, NodeStats& stats,
@@ -26,11 +28,48 @@ MessageManager::MessageManager(AdHocManager& adhoc, NodeStats& stats,
       if (!it->second.empty()) ++stats_.transfers_interrupted;
       sent_this_session_.erase(it);
     }
+    // Bundles from this peer still waiting in the verify queue belong to
+    // the transfer that just broke: delivering them after the session
+    // dropped would hand the routing layer a dead PeerId. An entry whose
+    // bundle a still-connected peer also offered in this window is handed
+    // to that peer instead of dropped; the rest are dropped and counted,
+    // and the next encounter's summary/request exchange re-offers them.
+    if (!verify_queue_.empty()) {
+      std::size_t kept = 0, dropped = 0;
+      for (std::size_t i = 0; i < verify_queue_.size(); ++i) {
+        PendingBundle& p = verify_queue_[i];
+        auto& alts = p.also_offered_by;
+        alts.erase(std::remove(alts.begin(), alts.end(), peer), alts.end());
+        if (p.peer == peer) {
+          if (alts.empty()) {
+            ++dropped;
+            continue;
+          }
+          p.peer = alts.front();
+          alts.erase(alts.begin());
+        }
+        if (kept != i) verify_queue_[kept] = std::move(p);
+        ++kept;
+      }
+      verify_queue_.resize(kept);
+      stats_.transfers_interrupted += dropped;
+    }
     if (on_session_down) on_session_down(peer);
   };
   adhoc_.on_frame = [this](sim::PeerId peer, FrameType type, util::Bytes payload) {
     handle_frame(peer, type, std::move(payload));
   };
+}
+
+MessageManager::~MessageManager() {
+  // A pending flush holds a raw `this` inside the scheduler; firing after
+  // destruction would be use-after-free. The callbacks installed on the
+  // ad hoc manager capture `this` too and it may outlive us.
+  if (verify_flush_scheduled_) adhoc_.scheduler().cancel(verify_flush_event_);
+  adhoc_.on_peer_advert = nullptr;
+  adhoc_.on_secure_session = nullptr;
+  adhoc_.on_session_down = nullptr;
+  adhoc_.on_frame = nullptr;
 }
 
 void MessageManager::flush_verify_queue() {
@@ -128,13 +167,25 @@ void MessageManager::handle_frame(sim::PeerId peer, FrameType type, util::Bytes 
       ++stats_.bundles_received;
       if (verify_batch_window_ > 0) {
         // Defer: bundles arriving within the window are verified together
-        // in one batch signature pass.
+        // in one batch signature pass. A bundle id already waiting in the
+        // queue is a re-reception (two peers offering the same bundle in
+        // one burst): verifying and delivering it twice would double the
+        // signature work, so it rides the queued copy instead.
+        bundle::BundleId id = b->id();
+        auto queued = std::find_if(
+            verify_queue_.begin(), verify_queue_.end(),
+            [&id](const PendingBundle& p) { return p.bundle.id() == id; });
+        if (queued != verify_queue_.end()) {
+          ++stats_.duplicates_ignored;
+          queued->also_offered_by.push_back(peer);
+          return;
+        }
         verify_queue_.push_back(PendingBundle{peer, std::move(*b), std::move(*cert),
                                               f->spray_copies});
         if (!verify_flush_scheduled_) {
           verify_flush_scheduled_ = true;
-          adhoc_.scheduler().schedule_in(verify_batch_window_,
-                                         [this] { flush_verify_queue(); });
+          verify_flush_event_ = adhoc_.scheduler().schedule_in(
+              verify_batch_window_, [this] { flush_verify_queue(); });
         }
         return;
       }
@@ -145,8 +196,10 @@ void MessageManager::handle_frame(sim::PeerId peer, FrameType type, util::Bytes 
       return;
     }
     case FrameType::Hello:
-      // Hello is consumed inside the ad hoc manager; seeing it here means a
-      // peer sealed a Hello inside the session — treat as malformed.
+    case FrameType::Resume:
+      // Hello/Resume are consumed inside the ad hoc manager; seeing one
+      // here means a peer sealed a handshake frame inside the session —
+      // treat as malformed.
       ++stats_.malformed_frames;
       return;
   }

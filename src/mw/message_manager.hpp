@@ -21,6 +21,9 @@ namespace sos::mw {
 class MessageManager {
  public:
   MessageManager(AdHocManager& adhoc, NodeStats& stats, std::size_t store_capacity = 10000);
+  /// Cancels any scheduled verify-queue flush: the flush lambda captures
+  /// `this`, so it must not outlive the manager in the scheduler.
+  ~MessageManager();
 
   bundle::BundleStore& store() { return store_; }
   const bundle::BundleStore& store() const { return store_; }
@@ -71,6 +74,9 @@ class MessageManager {
     bundle::Bundle bundle;
     pki::Certificate cert;
     std::uint32_t spray_copies;
+    // Peers whose copy of the same bundle was deduplicated onto this entry;
+    // if `peer`'s session drops before the flush, one of them inherits it.
+    std::vector<sim::PeerId> also_offered_by;
   };
 
   AdHocManager& adhoc_;
@@ -81,6 +87,7 @@ class MessageManager {
   std::map<sim::PeerId, std::set<bundle::BundleId>> sent_this_session_;
   std::vector<PendingBundle> verify_queue_;
   bool verify_flush_scheduled_ = false;
+  sim::EventId verify_flush_event_ = 0;  // valid while verify_flush_scheduled_
   util::SimTime verify_batch_window_ = 0.0;
 };
 

@@ -29,6 +29,8 @@ SosNode::SosNode(sim::Scheduler& sched, sim::MpcEndpoint& endpoint, pki::DeviceC
   // The verified-bundle cache only needs to cover what can be re-received,
   // which is bounded by what peers can still be carrying: the store size.
   adhoc_->set_verify_cache_capacity(config_.store_capacity);
+  adhoc_->set_resume_cache_capacity(config_.resume_cache_capacity);
+  adhoc_->set_resume_lifetime(config_.resume_lifetime_s);
   msgs_ = std::make_unique<MessageManager>(*adhoc_, stats_, config_.store_capacity);
   msgs_->set_verify_batch_window(config_.verify_batch_window_s);
   auto scheme = make_scheme(config_.scheme);

@@ -24,6 +24,14 @@ struct SosConfig {
   /// > 0: received bundles are queued this many sim-seconds and verified in
   /// one batch signature pass; 0 verifies each bundle synchronously.
   util::SimTime verify_batch_window_s = 0.0;
+  /// > 0: cache a resumption secret per peer after each full handshake and
+  /// re-establish later contacts with a 1-RTT HMAC-proof resume — zero
+  /// X25519 operations and no certificate exchange on recurring contacts.
+  /// Forward secrecy for resumed sessions is bounded by this lifetime
+  /// (measured from the minting full handshake). 0 disables resumption.
+  util::SimTime resume_lifetime_s = 86400.0;  // one daily-routine cycle
+  /// LRU bound on cached resumption secrets (distinct recurring peers).
+  std::size_t resume_cache_capacity = 256;
 };
 
 class SosNode {

@@ -8,8 +8,13 @@ namespace sos::mw {
 
 struct NodeStats {
   // ad hoc manager
-  std::uint64_t sessions_established = 0;
+  std::uint64_t sessions_established = 0;      // full handshakes + resumes
   std::uint64_t sessions_lost = 0;
+  std::uint64_t full_handshakes = 0;           // cert exchange + X25519 + HKDF
+  std::uint64_t sessions_resumed = 0;          // 1-RTT resumes (no X25519)
+  std::uint64_t resume_attempts = 0;           // Resume frames sent
+  std::uint64_t resume_rejected = 0;           // unknown/expired/bad-proof resumes
+  std::uint64_t ecdh_ops = 0;                  // X25519 scalar mults by the handshake
   std::uint64_t handshake_cert_rejected = 0;   // invalid/revoked/expired cert
   std::uint64_t handshake_sig_rejected = 0;    // bad ephemeral-key binding
   std::uint64_t frames_sent = 0;

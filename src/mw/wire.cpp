@@ -29,6 +29,32 @@ std::optional<HelloFrame> HelloFrame::decode(util::ByteView data) {
   return f;
 }
 
+util::Bytes ResumeFrame::signing_bytes() const {
+  util::Writer w;
+  w.str("sos-resume-v1");
+  w.raw(util::ByteView(fingerprint.data(), fingerprint.size()));
+  w.raw(util::ByteView(nonce.data(), nonce.size()));
+  return w.take();
+}
+
+util::Bytes ResumeFrame::encode() const {
+  util::Writer w;
+  w.raw(util::ByteView(fingerprint.data(), fingerprint.size()));
+  w.raw(util::ByteView(nonce.data(), nonce.size()));
+  w.raw(util::ByteView(proof.data(), proof.size()));
+  return w.take();
+}
+
+std::optional<ResumeFrame> ResumeFrame::decode(util::ByteView data) {
+  util::Reader r(data);
+  ResumeFrame f;
+  f.fingerprint = r.raw_array<32>();
+  f.nonce = r.raw_array<32>();
+  f.proof = r.raw_array<32>();
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
 util::Bytes SummaryFrame::encode() const {
   util::Writer w;
   w.varint(entries.size());

@@ -4,6 +4,7 @@
 // frame is sealed by the ad hoc manager's session AEAD.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -22,6 +23,8 @@ enum class FrameType : std::uint8_t {
   Summary = 2,     // sealed: store summary + scheme blob (Fig 2b step 2)
   Request = 3,     // sealed: what the browser wants (Fig 2b step 3)
   BundleData = 4,  // sealed: bundle + origin certificate (Fig 3b)
+  Resume = 5,      // plaintext: 1-RTT session resumption proof (recurring
+                   // contacts skip the cert exchange + X25519)
 };
 
 /// First frame on a new session, both directions.
@@ -33,6 +36,24 @@ struct HelloFrame {
   util::Bytes signing_bytes() const;
   util::Bytes encode() const;
   static std::optional<HelloFrame> decode(util::ByteView data);
+};
+
+/// Session resumption (FrameType::Resume), sent instead of Hello when the
+/// sender holds a cached resumption secret for the peer from an earlier
+/// full handshake. Travels in plain text like Hello: it carries no secret
+/// material, only the sender's certificate fingerprint (so the receiver can
+/// find the shared secret), a fresh nonce, and an HMAC proof of secret
+/// possession. Both sides send one; session keys come from
+/// HKDF(nonce_a || nonce_b, secret) — zero X25519 operations.
+struct ResumeFrame {
+  std::array<std::uint8_t, 32> fingerprint{};  // SHA-256 of sender's certificate
+  std::array<std::uint8_t, 32> nonce{};        // fresh per resume attempt
+  std::array<std::uint8_t, 32> proof{};        // HMAC-SHA256(secret, signing_bytes())
+
+  /// Bytes covered by the HMAC proof (domain tag + fingerprint + nonce).
+  util::Bytes signing_bytes() const;
+  util::Bytes encode() const;
+  static std::optional<ResumeFrame> decode(util::ByteView data);
 };
 
 /// In-session store summary. `entries` is the same UserID->MessageNumber

@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "bundle/store.hpp"
 #include "crypto/drbg.hpp"
+#include "crypto/sha256.hpp"
 #include "mw/sos_node.hpp"
 #include "pki/bootstrap.hpp"
 #include "sim/multipeer.hpp"
@@ -216,6 +218,140 @@ TEST(VerifyBatch, IntraBatchDuplicatesVerifiedOnce) {
   EXPECT_EQ(rig.stats.bundle_sig_cache_hits, 1u);    // duplicate b1 suppressed
 }
 
+// --- session resumption: wire-level rejection paths ---------------------------
+
+namespace {
+
+/// Two real SOS nodes plus a raw attacker endpoint on the same radio
+/// network. The attacker can inject arbitrary bytes pre-handshake.
+struct ResumeAttackRig {
+  ss::Scheduler sched;
+  sp::BootstrapService infra{su::to_bytes("resume-attack")};
+  ss::MpcNetwork net{sched, 3};
+  std::unique_ptr<sm::SosNode> alice;  // endpoint 0
+  std::unique_ptr<sm::SosNode> bob;    // endpoint 1; endpoint 2 = attacker
+
+  su::Bytes first_hello;  // alice -> bob Hello captured during priming
+
+  ResumeAttackRig() {
+    sc::Drbg da(su::to_bytes("ra-a")), db(su::to_bytes("ra-b"));
+    sm::SosConfig config;
+    config.maintenance_interval_s = 0;
+    alice = std::make_unique<sm::SosNode>(sched, net.endpoint(0),
+                                          *infra.signup("ra-alice", da, 0), config);
+    bob = std::make_unique<sm::SosNode>(sched, net.endpoint(1),
+                                        *infra.signup("ra-bob", db, 0), config);
+    alice->start();
+    bob->start();
+    bob->follow(alice->user_id());
+    alice->publish(su::to_bytes("post"));
+    net.on_wire_frame = [this](ss::PeerId from, ss::PeerId to, const su::Bytes& w) {
+      if (from == 0 && to == 1 && !w.empty() && w[0] == 0x01 && first_hello.empty())
+        first_hello = w;
+    };
+    // One real contact mints the resumption secret on both sides.
+    net.set_in_range(0, 1, true);
+    sched.run_all();
+    net.set_in_range(0, 1, false);
+    sched.run_all();
+    net.on_wire_frame = nullptr;
+  }
+
+  /// Connect the attacker endpoint to bob and inject one Resume frame.
+  void inject_resume(const sm::ResumeFrame& frame) {
+    net.endpoint(2).start_advertising({});
+    net.set_in_range(1, 2, true);
+    net.endpoint(2).on_connected = [&, wire = frame](ss::PeerId peer) {
+      su::Bytes bytes;
+      bytes.push_back(0x03);  // kOuterResume
+      su::append(bytes, wire.encode());
+      net.endpoint(2).send(peer, std::move(bytes));
+    };
+    net.endpoint(2).invite(1);
+    sched.run_all();
+  }
+};
+
+}  // namespace
+
+TEST(ResumeReject, ForgedProofUnderKnownFingerprintIsRejected) {
+  ResumeAttackRig rig;
+  ASSERT_EQ(rig.bob->stats().full_handshakes, 1u);
+
+  // The attacker replays alice's identity (her certificate fingerprint is
+  // public) but cannot compute the HMAC proof without the cached secret.
+  sm::ResumeFrame forged;
+  forged.fingerprint = sc::Sha256::hash(rig.alice->credentials().certificate.encode());
+  forged.nonce.fill(0x41);
+  forged.proof.fill(0x42);  // garbage proof
+  rig.inject_resume(forged);
+
+  EXPECT_EQ(rig.bob->stats().resume_rejected, 1u);
+  EXPECT_EQ(rig.bob->stats().sessions_resumed, 0u);
+  EXPECT_FALSE(rig.bob->adhoc().session_secure(2));
+  // The legitimate resumption state survives the forgery attempt: alice
+  // still resumes on her next contact.
+  rig.net.set_in_range(1, 2, false);
+  rig.net.set_in_range(0, 1, true);
+  rig.sched.run_all();
+  EXPECT_EQ(rig.bob->stats().sessions_resumed, 1u);
+}
+
+TEST(ResumeReject, UnknownFingerprintFallsBackToHello) {
+  ResumeAttackRig rig;
+  sm::ResumeFrame forged;
+  forged.fingerprint.fill(0x99);  // no such identity in bob's cache
+  forged.nonce.fill(0x41);
+  forged.proof.fill(0x42);
+  rig.inject_resume(forged);
+
+  EXPECT_EQ(rig.bob->stats().resume_rejected, 1u);
+  EXPECT_FALSE(rig.bob->adhoc().session_secure(2));
+  // Bob answered with a Hello (full-handshake fallback), not silence.
+  EXPECT_GE(rig.bob->stats().frames_sent, 1u);
+}
+
+TEST(ResumeReject, ReplayedHelloDoesNotKillLiveResumedSession) {
+  // A Hello carries no freshness, so a captured one (genuine certificate
+  // and binding signature) replays past every check in handle_hello. Once
+  // sealed traffic has authenticated under the resumed keys, the replay
+  // must be ignored — not tear the session down and wedge it on keys the
+  // real peer no longer holds.
+  ResumeAttackRig rig;
+  ASSERT_FALSE(rig.first_hello.empty());  // captured during the priming contact
+
+  // Second contact resumes; traffic flows under the resumed keys.
+  rig.net.set_in_range(0, 1, true);
+  rig.alice->publish(su::to_bytes("post 2"));
+  rig.sched.run_all();
+  ASSERT_EQ(rig.bob->stats().sessions_resumed, 1u);
+  ASSERT_EQ(rig.bob->stats().deliveries, 2u);
+
+  auto lost_before = rig.bob->stats().sessions_lost;
+  rig.net.endpoint(0).send(1, rig.first_hello);  // replay the genuine Hello
+  rig.sched.run_all();
+  EXPECT_EQ(rig.bob->stats().sessions_lost, lost_before);  // session survived
+
+  // The resumed session still carries traffic.
+  rig.alice->publish(su::to_bytes("post 3"));
+  rig.sched.run_all();
+  EXPECT_EQ(rig.bob->stats().deliveries, 3u);
+}
+
+TEST(ResumeReject, TruncatedResumeFrameIsMalformed) {
+  ResumeAttackRig rig;
+  auto malformed_before = rig.bob->stats().malformed_frames;
+  rig.net.endpoint(2).start_advertising({});
+  rig.net.set_in_range(1, 2, true);
+  rig.net.endpoint(2).on_connected = [&](ss::PeerId peer) {
+    rig.net.endpoint(2).send(peer, su::Bytes{0x03, 0x01, 0x02});  // truncated
+  };
+  rig.net.endpoint(2).invite(1);
+  rig.sched.run_all();
+  EXPECT_GT(rig.bob->stats().malformed_frames, malformed_before);
+  EXPECT_FALSE(rig.bob->adhoc().session_secure(2));
+}
+
 // --- message manager verification window -------------------------------------
 
 TEST(VerifyWindow, BurstIsBatchVerifiedEndToEnd) {
@@ -248,6 +384,155 @@ TEST(VerifyWindow, BurstIsBatchVerifiedEndToEnd) {
   EXPECT_LT(bob.stats().bundle_batch_verifies, 5u);
   EXPECT_EQ(bob.stats().bundle_batch_fallbacks, 0u);
   EXPECT_EQ(bob.stats().deliveries, 5u);
+}
+
+TEST(VerifyWindow, SessionDropPurgesPendingVerifications) {
+  // Bundles waiting in the verify queue when their session drops must not
+  // be delivered against a dead PeerId: they are dropped and counted as
+  // interrupted, then recovered on the next encounter.
+  ss::Scheduler sched;
+  sp::BootstrapService infra{su::to_bytes("drop-infra")};
+  ss::MpcNetwork net(sched, 2);
+  sm::SosConfig config;
+  config.maintenance_interval_s = 0;
+  config.verify_batch_window_s = 30.0;  // long window: the cut wins the race
+  sc::Drbg d0(su::to_bytes("dr-0")), d1(su::to_bytes("dr-1"));
+  sm::SosNode alice(sched, net.endpoint(0), *infra.signup("dr-alice", d0, 0), config);
+  sm::SosNode bob(sched, net.endpoint(1), *infra.signup("dr-bob", d1, 0), config);
+  alice.start();
+  bob.start();
+  bob.follow(alice.user_id());
+  for (int i = 1; i <= 3; ++i) alice.publish(su::to_bytes("post " + std::to_string(i)));
+
+  net.set_in_range(0, 1, true);
+  // Handshake + summary + request + bundle arrival all happen within a few
+  // seconds; the 30 s verify window is still open when the link breaks.
+  sched.run_until(sched.now() + 10.0);
+  ASSERT_EQ(bob.stats().bundles_received, 3u);  // queued, not yet verified
+  ASSERT_EQ(bob.stats().deliveries, 0u);
+  net.set_in_range(0, 1, false);
+  sched.run_all();  // the scheduled flush fires on an empty queue
+  EXPECT_EQ(bob.stats().deliveries, 0u);
+  EXPECT_EQ(bob.stats().transfers_interrupted, 3u);
+
+  // Next encounter recovers everything via the normal pull protocol.
+  net.set_in_range(0, 1, true);
+  sched.run_all();
+  EXPECT_EQ(bob.stats().deliveries, 3u);
+  EXPECT_EQ(bob.stats().duplicates_ignored, 0u);
+}
+
+TEST(VerifyWindow, DuplicateArrivalsWithinWindowVerifiedOnce) {
+  // Two relays offer bob the same bundle in one burst: the second copy must
+  // be deduplicated at enqueue time, paying zero additional verification.
+  ss::Scheduler sched;
+  sp::BootstrapService infra{su::to_bytes("dup-infra")};
+  ss::MpcNetwork net(sched, 4);
+  sm::SosConfig config;
+  config.scheme = "epidemic";
+  config.maintenance_interval_s = 0;
+  config.verify_batch_window_s = 5.0;
+  std::vector<std::unique_ptr<sm::SosNode>> nodes;
+  for (int i = 0; i < 4; ++i) {
+    sc::Drbg d(su::to_bytes("dup-" + std::to_string(i)));
+    nodes.push_back(std::make_unique<sm::SosNode>(
+        sched, net.endpoint(static_cast<ss::PeerId>(i)),
+        *infra.signup("dup-user" + std::to_string(i), d, 0), config));
+    nodes.back()->start();
+  }
+  sm::SosNode& bob = *nodes[3];
+  bob.follow(nodes[0]->user_id());
+  nodes[0]->publish(su::to_bytes("popular post"));
+
+  // Relays 1 and 2 each pick up the post from the publisher.
+  for (ss::PeerId relay : {1u, 2u}) {
+    net.set_in_range(0, relay, true);
+    sched.run_all();
+    net.set_in_range(0, relay, false);
+    sched.run_all();
+  }
+  ASSERT_TRUE(nodes[1]->store().contains({nodes[0]->user_id(), 1}));
+  ASSERT_TRUE(nodes[2]->store().contains({nodes[0]->user_id(), 1}));
+
+  // Bob meets both relays at once: both serve the same bundle within one
+  // verify window.
+  net.set_in_range(3, 1, true);
+  net.set_in_range(3, 2, true);
+  sched.run_all();
+  EXPECT_EQ(bob.stats().bundles_received, 2u);
+  EXPECT_EQ(bob.stats().duplicates_ignored, 1u);   // dropped at enqueue
+  EXPECT_EQ(bob.stats().bundle_sig_cache_misses, 1u);  // verified exactly once
+  EXPECT_EQ(bob.stats().deliveries, 1u);
+}
+
+TEST(VerifyWindow, DroppedSessionHandsQueueEntryToRidingPeer) {
+  // Bundle X arrives from relay 1 and is deduplicated when relay 2 offers
+  // it too; if relay 1's session then drops before the flush, the queue
+  // entry must be handed to relay 2 (still connected) instead of dropped.
+  ss::Scheduler sched;
+  sp::BootstrapService infra{su::to_bytes("ride-infra")};
+  ss::MpcNetwork net(sched, 4);
+  sm::SosConfig config;
+  config.scheme = "epidemic";
+  config.maintenance_interval_s = 0;
+  config.verify_batch_window_s = 30.0;
+  std::vector<std::unique_ptr<sm::SosNode>> nodes;
+  for (int i = 0; i < 4; ++i) {
+    sc::Drbg d(su::to_bytes("ride-" + std::to_string(i)));
+    nodes.push_back(std::make_unique<sm::SosNode>(
+        sched, net.endpoint(static_cast<ss::PeerId>(i)),
+        *infra.signup("ride-user" + std::to_string(i), d, 0), config));
+    nodes.back()->start();
+  }
+  sm::SosNode& bob = *nodes[3];
+  bob.follow(nodes[0]->user_id());
+  nodes[0]->publish(su::to_bytes("handed over"));
+  for (ss::PeerId relay : {1u, 2u}) {
+    net.set_in_range(0, relay, true);
+    sched.run_all();
+    net.set_in_range(0, relay, false);
+    sched.run_all();
+  }
+
+  net.set_in_range(3, 1, true);
+  net.set_in_range(3, 2, true);
+  sched.run_until(sched.now() + 10.0);  // both copies queued, flush pending
+  ASSERT_EQ(bob.stats().bundles_received, 2u);
+  ASSERT_EQ(bob.stats().duplicates_ignored, 1u);
+  ASSERT_EQ(bob.stats().deliveries, 0u);
+
+  net.set_in_range(3, 1, false);  // the leader's session drops
+  sched.run_all();                // flush delivers via relay 2's entry
+  EXPECT_EQ(bob.stats().deliveries, 1u);
+  EXPECT_EQ(bob.stats().transfers_interrupted, 0u);
+}
+
+TEST(VerifyWindow, DestroyingManagerCancelsScheduledFlush) {
+  // A scheduled flush captures the MessageManager; destroying the node with
+  // the flush pending must cancel the event, not leave a dangling callback.
+  ss::Scheduler sched;
+  sp::BootstrapService infra{su::to_bytes("dtor-infra")};
+  ss::MpcNetwork net(sched, 2);
+  sm::SosConfig config;
+  config.maintenance_interval_s = 0;
+  config.verify_batch_window_s = 30.0;
+  sc::Drbg d0(su::to_bytes("dt-0")), d1(su::to_bytes("dt-1"));
+  auto alice = std::make_unique<sm::SosNode>(sched, net.endpoint(0),
+                                             *infra.signup("dt-alice", d0, 0), config);
+  auto bob = std::make_unique<sm::SosNode>(sched, net.endpoint(1),
+                                           *infra.signup("dt-bob", d1, 0), config);
+  alice->start();
+  bob->start();
+  bob->follow(alice->user_id());
+  alice->publish(su::to_bytes("pending"));
+  net.set_in_range(0, 1, true);
+  sched.run_until(sched.now() + 10.0);
+  ASSERT_EQ(bob->stats().bundles_received, 1u);  // flush still pending
+
+  bob.reset();  // destroys the MessageManager with the flush scheduled
+  alice.reset();
+  sched.run_all();  // must not fire the dangling flush (use-after-free)
+  EXPECT_EQ(sched.cancelled_backlog(), 0u);
 }
 
 // --- bundle store eviction index ---------------------------------------------
@@ -312,6 +597,22 @@ TEST(StoreEviction, IndexSurvivesRemoveAndExpire) {
   EXPECT_FALSE(store.contains({origin, 4}));
   EXPECT_TRUE(store.contains({origin, 3}));
   EXPECT_TRUE(store.contains({origin, 7}));
+}
+
+TEST(StoreQuery, NewerThanAtUint32MaxDoesNotWrap) {
+  // `after + 1` at the UINT32_MAX boundary used to wrap to 0 and rescan the
+  // origin's entire range as if everything were new.
+  sb::BundleStore store(16);
+  sp::UserId origin = sp::user_id_from_name("writer");
+  for (std::uint32_t num : {1u, 2u, 3u}) {
+    sb::Bundle b;
+    b.origin = origin;
+    b.msg_num = num;
+    store.insert(std::move(b), 0.0);
+  }
+  EXPECT_EQ(store.newer_than(origin, 0).size(), 3u);
+  EXPECT_EQ(store.newer_than(origin, 2).size(), 1u);
+  EXPECT_TRUE(store.newer_than(origin, std::numeric_limits<std::uint32_t>::max()).empty());
 }
 
 // --- scheduler cancel bookkeeping --------------------------------------------

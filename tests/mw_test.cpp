@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "crypto/drbg.hpp"
+#include "crypto/sha256.hpp"
 #include "mw/schemes/prophet.hpp"
 #include "mw/schemes/spray_wait.hpp"
 #include "mw/sos_node.hpp"
@@ -33,13 +34,14 @@ struct Testbed {
   std::vector<std::unique_ptr<sm::SosNode>> nodes;
   std::vector<std::vector<std::pair<sb::Bundle, sp::Certificate>>> received;
 
-  explicit Testbed(std::size_t n, const std::string& scheme = "interest")
+  explicit Testbed(std::size_t n, const std::string& scheme = "interest",
+                   sm::SosConfig base_config = {})
       : net(sched, n) {
     received.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       sc::Drbg device(su::to_bytes("device-" + std::to_string(i)));
       auto creds = infra.signup("user" + std::to_string(i), device, sched.now());
-      sm::SosConfig config;
+      sm::SosConfig config = base_config;
       config.scheme = scheme;
       config.maintenance_interval_s = 0;  // keep the event queue drainable
       nodes.push_back(std::make_unique<sm::SosNode>(
@@ -497,6 +499,140 @@ TEST(MwDirect, OnlyPublisherServesContent) {
 
   bed.meet(0, 2);  // only the publisher delivers
   ASSERT_EQ(bed.received[2].size(), 1u);
+}
+
+// --- session resumption (recurring contacts) --------------------------------
+
+TEST(MwResume, SecondEncounterResumesWithZeroEcdhOps) {
+  Testbed bed(2);
+  bed.node(1).follow(bed.uid(0));
+  bed.node(0).publish(su::to_bytes("first"));
+  bed.meet(0, 1);  // cold contact: full handshake mints the resumption secret
+  bed.part(0, 1);
+  ASSERT_EQ(bed.received[1].size(), 1u);
+  EXPECT_EQ(bed.node(0).stats().full_handshakes, 1u);
+  EXPECT_EQ(bed.node(1).stats().full_handshakes, 1u);
+  std::uint64_t ecdh0 = bed.node(0).stats().ecdh_ops;
+  std::uint64_t ecdh1 = bed.node(1).stats().ecdh_ops;
+  EXPECT_GT(ecdh0, 0u);
+
+  bed.node(0).publish(su::to_bytes("second"));
+  bed.meet(0, 1);  // recurring contact: 1-RTT resume, data still flows
+  ASSERT_EQ(bed.received[1].size(), 2u);
+  EXPECT_EQ(su::to_string(bed.received[1][1].first.payload), "second");
+  for (std::size_t i : {0u, 1u}) {
+    EXPECT_EQ(bed.node(i).stats().sessions_established, 2u) << "node " << i;
+    EXPECT_EQ(bed.node(i).stats().sessions_resumed, 1u) << "node " << i;
+    EXPECT_EQ(bed.node(i).stats().full_handshakes, 1u) << "node " << i;
+    EXPECT_EQ(bed.node(i).stats().resume_rejected, 0u) << "node " << i;
+  }
+  // The acceptance bar: a resumed contact performs zero X25519 operations.
+  EXPECT_EQ(bed.node(0).stats().ecdh_ops, ecdh0);
+  EXPECT_EQ(bed.node(1).stats().ecdh_ops, ecdh1);
+}
+
+TEST(MwResume, ExpiredSecretFallsBackToFullHandshake) {
+  sm::SosConfig config;
+  config.resume_lifetime_s = 100.0;
+  Testbed bed(2, "interest", config);
+  bed.node(1).follow(bed.uid(0));
+  bed.node(0).publish(su::to_bytes("m1"));
+  bed.meet(0, 1);
+  bed.part(0, 1);
+
+  // Let the resumption lifetime elapse: the forward-secrecy window closed.
+  bed.sched.run_until(bed.sched.now() + 200.0);
+  bed.node(0).publish(su::to_bytes("m2"));
+  bed.meet(0, 1);
+  ASSERT_EQ(bed.received[1].size(), 2u);
+  for (std::size_t i : {0u, 1u}) {
+    EXPECT_EQ(bed.node(i).stats().full_handshakes, 2u) << "node " << i;
+    EXPECT_EQ(bed.node(i).stats().sessions_resumed, 0u) << "node " << i;
+    EXPECT_EQ(bed.node(i).stats().resume_attempts, 0u) << "node " << i;
+  }
+}
+
+TEST(MwResume, UnknownPeerEntryFallsBackToFullHandshake) {
+  Testbed bed(2);
+  bed.node(1).follow(bed.uid(0));
+  bed.node(0).publish(su::to_bytes("m1"));
+  bed.meet(0, 1);
+  bed.part(0, 1);
+
+  // Node 1 forgets node 0's resumption secret (cache eviction / trust
+  // change); node 0 still opens with Resume and must be sent back to the
+  // full handshake.
+  auto fp = sc::Sha256::hash(bed.node(0).credentials().certificate.encode());
+  bed.node(1).adhoc().forget_resume_secret(fp);
+  bed.node(0).publish(su::to_bytes("m2"));
+  bed.meet(0, 1);
+  ASSERT_EQ(bed.received[1].size(), 2u);
+  EXPECT_EQ(bed.node(0).stats().resume_attempts, 1u);
+  EXPECT_EQ(bed.node(1).stats().resume_rejected, 1u);
+  EXPECT_EQ(bed.node(0).stats().sessions_resumed, 0u);
+  EXPECT_EQ(bed.node(1).stats().sessions_resumed, 0u);
+  EXPECT_EQ(bed.node(0).stats().full_handshakes, 2u);
+  EXPECT_EQ(bed.node(1).stats().full_handshakes, 2u);
+}
+
+TEST(MwResume, DisabledConfigNeverResumes) {
+  sm::SosConfig config;
+  config.resume_lifetime_s = 0;
+  Testbed bed(2, "interest", config);
+  bed.node(1).follow(bed.uid(0));
+  bed.node(0).publish(su::to_bytes("m1"));
+  bed.meet(0, 1);
+  bed.part(0, 1);
+  bed.node(0).publish(su::to_bytes("m2"));
+  bed.meet(0, 1);
+  ASSERT_EQ(bed.received[1].size(), 2u);
+  EXPECT_EQ(bed.node(0).stats().resume_attempts, 0u);
+  EXPECT_EQ(bed.node(0).stats().full_handshakes, 2u);
+  EXPECT_EQ(bed.node(0).adhoc().resume_cache_size(), 0u);
+}
+
+TEST(MwResume, RevokedCertificateIsNotResumed) {
+  Testbed bed(2);
+  bed.node(1).follow(bed.uid(0));
+  bed.node(0).publish(su::to_bytes("before revocation"));
+  bed.meet(0, 1);
+  bed.part(0, 1);
+  ASSERT_EQ(bed.received[1].size(), 1u);
+
+  // Revoke node 0 after a resumption secret exists for it: the cached
+  // secret must not carry the revoked identity past the CRL.
+  bed.infra.authority().revoke(bed.node(0).credentials().certificate.serial);
+  auto& creds1 = const_cast<sp::DeviceCredentials&>(bed.node(1).credentials());
+  bed.infra.refresh_crl(creds1.trust);
+
+  bed.node(0).publish(su::to_bytes("after revocation"));
+  bed.meet(0, 1);
+  EXPECT_EQ(bed.received[1].size(), 1u);  // nothing new delivered
+  EXPECT_EQ(bed.node(1).stats().sessions_resumed, 0u);
+  EXPECT_GE(bed.node(1).stats().handshake_cert_rejected, 1u);
+}
+
+TEST(MwResume, EvictedCacheEntryFallsBackToFullHandshake) {
+  Testbed bed(3);
+  bed.node(0).adhoc().set_resume_cache_capacity(1);
+  bed.node(1).follow(bed.uid(0));
+  bed.node(2).follow(bed.uid(0));
+  bed.node(0).publish(su::to_bytes("m1"));
+
+  bed.meet(0, 1);
+  bed.part(0, 1);
+  EXPECT_EQ(bed.node(0).adhoc().resume_cache_size(), 1u);
+  bed.meet(0, 2);  // capacity-1 cache: node 1's entry is evicted
+  bed.part(0, 2);
+  EXPECT_EQ(bed.node(0).adhoc().resume_cache_size(), 1u);
+
+  bed.node(0).publish(su::to_bytes("m2"));
+  bed.meet(0, 1);  // node 1 attempts a resume; node 0 no longer knows it
+  ASSERT_EQ(bed.received[1].size(), 2u);
+  EXPECT_EQ(bed.node(1).stats().resume_attempts, 1u);
+  EXPECT_EQ(bed.node(0).stats().resume_rejected, 1u);
+  EXPECT_EQ(bed.node(1).stats().sessions_resumed, 0u);
+  EXPECT_EQ(bed.node(0).stats().full_handshakes, 3u);
 }
 
 // --- stats & bookkeeping -----------------------------------------------------------------
