@@ -3,40 +3,96 @@
 // Shows the trade the routing manager's modularity is for: epidemic
 // maximizes delivery at maximal overhead, IB matches it closely while only
 // touching interested nodes, direct is the 1-hop floor.
+//
+// All variants replay one recorded contact trace through deploy::SweepRunner
+// — identical encounters by construction, not just identical seeds — and
+// run in parallel with --jobs N. A second sweep measures the
+// SosConfig::verify_batch_window_s tradeoff: batching received bundles into
+// one signature pass buys verify throughput at the price of dissemination
+// latency bounded by the window.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "deploy/report.hpp"
-#include "deploy/scenario.hpp"
+#include "deploy/sweep.hpp"
 #include "util/time.hpp"
 
 using namespace sos;
 
-int main() {
+int main(int argc, char** argv) {
+  deploy::SweepOptions opts = deploy::sweep_options_from_args(argc, argv);
+  deploy::SweepRunner runner(opts);
+
   deploy::print_heading("Scheme ablation: identical workload, four routing schemes");
+
+  deploy::SweepCell cell;
+  cell.label = "";
+  cell.config = deploy::gainesville_config("interest");
+  cell.variants = {
+      {"epidemic", "epidemic", 86400.0, 0.0},
+      {"interest", "interest", 86400.0, 0.0},
+      {"spray", "spray", 86400.0, 0.0},
+      {"direct", "direct", 86400.0, 0.0},
+  };
+  auto results = runner.run({cell});
 
   deploy::Table t({"scheme", "deliveries", "delivery ratio", "median delay", "P[<=24h]",
                    "1-hop share", "bundles sent", "wire MB", "connections"});
-
-  for (const std::string& scheme : {"epidemic", "interest", "spray", "direct"}) {
-    auto config = deploy::gainesville_config(scheme);
-    auto result = deploy::run_scenario(config);
-    const auto& oracle = result.oracle;
+  for (const auto& r : results) {
+    const auto& oracle = r.result.oracle;
     auto delays = oracle.delay_cdf(false);
-    t.add_row({scheme, std::to_string(oracle.delivery_count()),
-               deploy::fmt(oracle.overall_delivery_ratio(), 3),
-               util::format_duration(delays.quantile(0.5)),
-               deploy::fmt(delays.at(util::hours(24)), 3),
-               deploy::fmt(oracle.one_hop_fraction(), 3),
-               std::to_string(result.totals.bundles_sent),
-               deploy::fmt(static_cast<double>(result.wire_bytes) / 1e6, 2),
-               std::to_string(result.connections)});
+    t.set_row(r.variant, {r.label, std::to_string(oracle.delivery_count()),
+                          deploy::fmt(oracle.overall_delivery_ratio(), 3),
+                          util::format_duration(delays.quantile(0.5)),
+                          deploy::fmt(delays.at(util::hours(24)), 3),
+                          deploy::fmt(oracle.one_hop_fraction(), 3),
+                          std::to_string(r.result.totals.bundles_sent),
+                          deploy::fmt(static_cast<double>(r.result.wire_bytes) / 1e6, 2),
+                          std::to_string(r.result.connections)});
   }
   t.print();
 
   std::printf("expected ordering: epidemic >= interest > spray > direct on delivery;\n"
               "direct has the lowest overhead and a 1-hop share of 1.0 by construction;\n"
               "epidemic pays for its delivery edge with the most transmissions.\n");
+
+  // --- verify-batch-window sweep ------------------------------------------
+  // Same world again (recorded once, replayed for every window) under the
+  // chatty epidemic scheme, where re-receptions make signature work the
+  // per-encounter bottleneck. The window defers delivery by up to its
+  // length but converts single verifies into batch passes.
+  deploy::print_heading("Verify-batch window: dissemination latency vs verify throughput");
+
+  deploy::SweepCell batch;
+  batch.label = "";
+  batch.config = deploy::gainesville_config("epidemic");
+  batch.variants = {
+      {"window 0s (sync)", "epidemic", 86400.0, 0.0},
+      {"window 5s", "epidemic", 86400.0, 5.0},
+      {"window 30s", "epidemic", 86400.0, 30.0},
+  };
+  auto batch_results = runner.run({batch});
+
+  deploy::Table bt({"verify batch", "deliveries", "median delay", "P[<=24h]",
+                    "batch passes", "batch fallbacks", "sig verifies", "wall s"});
+  for (const auto& r : batch_results) {
+    const auto& oracle = r.result.oracle;
+    const auto& s = r.result.totals;
+    auto delays = oracle.delay_cdf(false);
+    bt.set_row(r.variant,
+               {r.label, std::to_string(oracle.delivery_count()),
+                util::format_duration(delays.quantile(0.5)),
+                deploy::fmt(delays.at(util::hours(24)), 3),
+                std::to_string(s.bundle_batch_verifies),
+                std::to_string(s.bundle_batch_fallbacks),
+                std::to_string(s.bundle_sig_cache_misses), deploy::fmt(r.wall_s, 2)});
+  }
+  bt.print();
+  std::printf("the window defers each bundle's verification (and hence store/forward)\n"
+              "by up to its length — visible as a right-shifted delay CDF — while the\n"
+              "batch passes amortize the Ed25519 double-scalar work across the burst.\n"
+              "At day-scale delivery delays the latency cost is noise; the knob matters\n"
+              "when encounters are short and bursts are large.\n");
   return 0;
 }

@@ -5,15 +5,21 @@
 #include <cstdio>
 
 #include "deploy/report.hpp"
-#include "deploy/scenario.hpp"
+#include "deploy/sweep.hpp"
 
 using namespace sos;
 
-int main() {
+int main(int argc, char** argv) {
   deploy::print_heading("Fig 4b: message generation & dissemination map (~11km x 8km)");
 
-  auto config = deploy::gainesville_config("interest");
-  auto result = deploy::run_scenario(config);
+  deploy::SweepOptions opts = deploy::sweep_options_from_args(argc, argv);
+  opts.derive_seeds = false;  // keep the calibrated Gainesville seed
+  deploy::SweepRunner runner(opts);
+  deploy::SweepCell cell;
+  cell.config = deploy::gainesville_config("interest");
+  auto results = runner.run({cell});
+  const deploy::ScenarioConfig& config = results[0].config;
+  const deploy::ScenarioResult& result = results[0].result;
   const auto& oracle = result.oracle;
 
   const std::size_t nx = 64, ny = 24;

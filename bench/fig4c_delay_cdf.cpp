@@ -5,16 +5,22 @@
 #include <cstdio>
 
 #include "deploy/report.hpp"
-#include "deploy/scenario.hpp"
+#include "deploy/sweep.hpp"
 #include "util/time.hpp"
 
 using namespace sos;
 
-int main() {
+int main(int argc, char** argv) {
   deploy::print_heading("Fig 4c: delivery delay CDF (Gainesville study, IB routing)");
 
-  auto config = deploy::gainesville_config("interest");
-  auto result = deploy::run_scenario(config);
+  deploy::SweepOptions opts = deploy::sweep_options_from_args(argc, argv);
+  opts.derive_seeds = false;  // keep the calibrated Gainesville seed
+  deploy::SweepRunner runner(opts);
+  deploy::SweepCell cell;
+  cell.config = deploy::gainesville_config("interest");
+  auto results = runner.run({cell});
+  const deploy::ScenarioConfig& config = results[0].config;
+  const deploy::ScenarioResult& result = results[0].result;
   const auto& oracle = result.oracle;
 
   std::printf("deployment: %zu nodes, %.0f days, %zu posts, %zu subscriptions, "

@@ -6,15 +6,20 @@
 #include <cstdio>
 
 #include "deploy/report.hpp"
-#include "deploy/scenario.hpp"
+#include "deploy/sweep.hpp"
 
 using namespace sos;
 
-int main() {
+int main(int argc, char** argv) {
   deploy::print_heading("Fig 4d: per-subscription delivery ratio CDF (Gainesville study)");
 
-  auto config = deploy::gainesville_config("interest");
-  auto result = deploy::run_scenario(config);
+  deploy::SweepOptions opts = deploy::sweep_options_from_args(argc, argv);
+  opts.derive_seeds = false;  // keep the calibrated Gainesville seed
+  deploy::SweepRunner runner(opts);
+  deploy::SweepCell cell;
+  cell.config = deploy::gainesville_config("interest");
+  auto results = runner.run({cell});
+  const deploy::ScenarioResult& result = results[0].result;
   const auto& oracle = result.oracle;
 
   auto all = oracle.subscription_ratio_cdf(false);

@@ -5,7 +5,7 @@
 
 #include "bundle/store.hpp"
 #include "crypto/drbg.hpp"
-#include "deploy/scenario.hpp"
+#include "deploy/sweep.hpp"
 #include "mw/sos_node.hpp"
 #include "pki/bootstrap.hpp"
 #include "sim/multipeer.hpp"
@@ -149,6 +149,9 @@ static void BM_BundleCodec(benchmark::State& state) {
 BENCHMARK(BM_BundleCodec)->Arg(64)->Arg(1024)->Arg(65536);
 
 static void BM_StoreSummary(benchmark::State& state) {
+  // summary() itself is now a const-ref getter (maintained incrementally);
+  // what callers actually pay is the copy the advertisement path takes, so
+  // that is what this measures.
   bundle::BundleStore store(100000);
   crypto::Drbg d(util::to_bytes("ss"));
   for (int user = 0; user < 20; ++user) {
@@ -159,9 +162,38 @@ static void BM_StoreSummary(benchmark::State& state) {
       store.insert(std::move(b), 0);
     }
   }
-  for (auto _ : state) benchmark::DoNotOptimize(store.summary());
+  for (auto _ : state) {
+    std::map<pki::UserId, std::uint32_t> ad = store.summary();
+    benchmark::DoNotOptimize(ad);
+  }
 }
 BENCHMARK(BM_StoreSummary)->Arg(200)->Arg(2000);
+
+static void BM_StoreChurn(benchmark::State& state) {
+  // Where the old per-call summary() cost moved: the incremental
+  // maintenance paid on insert/remove. Inserts a fresh bundle and removes
+  // the oldest each iteration on a store holding range(0) bundles, so a
+  // regression in refresh_summary's O(log n) range-max refresh shows here.
+  bundle::BundleStore store(100000);
+  const std::uint32_t held = static_cast<std::uint32_t>(state.range(0));
+  auto uid = pki::user_id_from_name("churner");
+  for (std::uint32_t num = 1; num <= held; ++num) {
+    bundle::Bundle b;
+    b.origin = uid;
+    b.msg_num = num;
+    store.insert(std::move(b), 0);
+  }
+  std::uint32_t next = held + 1, oldest = 1;
+  for (auto _ : state) {
+    bundle::Bundle b;
+    b.origin = uid;
+    b.msg_num = next++;
+    store.insert(std::move(b), 0);
+    store.remove({uid, oldest++});
+    benchmark::DoNotOptimize(store.summary());
+  }
+}
+BENCHMARK(BM_StoreChurn)->Arg(2000);
 
 static void BM_DensityCell(benchmark::State& state) {
   // End-to-end recurring-pair-heavy scenario (the ablation_density session
@@ -185,6 +217,38 @@ static void BM_DensityCell(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DensityCell)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+static void BM_DensitySweep(benchmark::State& state) {
+  // The full bench_ablation_density density grid through deploy::SweepRunner.
+  // range(0) = worker threads; range(1) = record-once/replay-many traces.
+  // /1/0 is the pre-sweep serial baseline shape, /4/1 is the parallel +
+  // replay path. tests/sweep_test.cpp asserts per-cell metrics are bitwise
+  // identical across thread counts (with replay on); replay-off runs live
+  // detection, which has matched replay exactly on every config measured
+  // but is not pinned by a test.
+  std::vector<deploy::SweepCell> grid = deploy::density_ablation_grid(3.0);
+  deploy::SweepOptions opts;
+  opts.jobs = static_cast<std::size_t>(state.range(0));
+  opts.reuse_traces = state.range(1) == 1;
+  deploy::SweepRunner runner(opts);
+  std::uint64_t deliveries = 0;
+  for (auto _ : state) {
+    auto results = runner.run(grid);
+    deliveries = 0;
+    for (const auto& r : results) deliveries += r.result.totals.deliveries;
+    benchmark::DoNotOptimize(deliveries);
+  }
+  state.counters["cells"] = static_cast<double>(grid.size());
+  state.counters["deliveries"] = static_cast<double>(deliveries);
+}
+BENCHMARK(BM_DensitySweep)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 static void BM_StoreNewerThan(benchmark::State& state) {
   bundle::BundleStore store(100000);

@@ -3,16 +3,39 @@
 # across PRs. Invoked by the `bench-json` CMake target:
 #   cmake --build build --target bench-json
 # Writes BENCH_crypto.json and BENCH_middleware.json at the repo root.
+#
+# With --jobs N the scenario sweep benches (fig4a-d + ablations) run too,
+# fanned out over N worker threads each via deploy::SweepRunner:
+#   scripts/run_benches.sh --jobs 4 build
+# Sweep metrics are bitwise identical for any N (only wall-clock changes);
+# N is also exported as SOS_SWEEP_JOBS so the bench binaries pick it up
+# when run directly.
 set -euo pipefail
 
-build_dir="${1:?usage: run_benches.sh <build-dir> [repo-root]}"
-repo_root="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+jobs=""
+args=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs)   jobs="${2:?--jobs needs a value}"; shift 2 ;;
+    --jobs=*) jobs="${1#--jobs=}"; shift ;;
+    *)        args+=("$1"); shift ;;
+  esac
+done
+
+build_dir="${args[0]:?usage: run_benches.sh [--jobs N] <build-dir> [repo-root]}"
+repo_root="${args[1]:-$(cd "$(dirname "$0")/.." && pwd)}"
 
 # Fail before running anything if a bench binary is missing: otherwise the
 # script would die mid-way having refreshed only some BENCH_*.json files,
 # leaving a silently inconsistent snapshot.
+micro_benches=(bench_micro_crypto bench_micro_middleware)
+scenario_benches=(bench_fig4a_social_graph bench_fig4b_mobility_map
+                  bench_fig4c_delay_cdf bench_fig4d_delivery_cdf
+                  bench_ablation_density bench_ablation_schemes)
+required=("${micro_benches[@]}")
+[[ -n "$jobs" ]] && required+=("${scenario_benches[@]}")
 missing=0
-for bench in bench_micro_crypto bench_micro_middleware; do
+for bench in "${required[@]}"; do
   if [[ ! -x "$build_dir/$bench" ]]; then
     echo "error: $build_dir/$bench not found or not executable" >&2
     echo "       (build it first: cmake --build $build_dir --target $bench)" >&2
@@ -31,3 +54,11 @@ done
   --benchmark_min_time=0.2
 
 echo "wrote $repo_root/BENCH_crypto.json and $repo_root/BENCH_middleware.json"
+
+if [[ -n "$jobs" ]]; then
+  export SOS_SWEEP_JOBS="$jobs"
+  for bench in "${scenario_benches[@]}"; do
+    echo "== $bench --jobs $jobs =="
+    "$build_dir/$bench" --jobs "$jobs"
+  done
+fi

@@ -12,8 +12,11 @@ bool BundleStore::insert(Bundle b, util::SimTime now) {
   }
   StoredBundle stored{std::move(b), now, 0};
   stored.hops_on_arrival = stored.bundle.hop_count;
+  if (stored.bundle.is_unicast()) ++unicast_count_;
   by_creation_.emplace(stored.bundle.creation_ts, id);
   bundles_.emplace(id, std::move(stored));
+  auto& held = summary_[id.origin];
+  if (id.msg_num > held) held = id.msg_num;
   evict_if_needed();
   return true;
 }
@@ -28,13 +31,27 @@ std::optional<Bundle> BundleStore::get(const BundleId& id) const {
   return it->second.bundle;
 }
 
-std::map<pki::UserId, std::uint32_t> BundleStore::summary() const {
-  std::map<pki::UserId, std::uint32_t> out;
-  for (const auto& [id, stored] : bundles_) {
-    auto [it, inserted] = out.emplace(id.origin, id.msg_num);
-    if (!inserted && id.msg_num > it->second) it->second = id.msg_num;
+void BundleStore::refresh_summary(const pki::UserId& origin) {
+  // Everything from `origin` sits in one contiguous bundles_ range; its
+  // last element (if any) holds the surviving maximum message number.
+  auto next = bundles_.lower_bound(
+      BundleId{origin, std::numeric_limits<std::uint32_t>::max()});
+  if (next != bundles_.end() && next->first.origin == origin) {
+    summary_[origin] = next->first.msg_num;
+    return;
   }
-  return out;
+  if (next != bundles_.begin()) {
+    auto last = std::prev(next);
+    if (last->first.origin == origin) {
+      summary_[origin] = last->first.msg_num;
+      return;
+    }
+  }
+  summary_.erase(origin);
+}
+
+void BundleStore::on_removed(const StoredBundle& stored) {
+  if (stored.bundle.is_unicast()) --unicast_count_;
 }
 
 std::vector<Bundle> BundleStore::newer_than(const pki::UserId& origin,
@@ -61,8 +78,11 @@ std::size_t BundleStore::expire(util::SimTime now) {
   std::size_t removed = 0;
   for (auto it = bundles_.begin(); it != bundles_.end();) {
     if (it->second.bundle.expired(now)) {
+      pki::UserId origin = it->first.origin;
       by_creation_.erase({it->second.bundle.creation_ts, it->first});
+      on_removed(it->second);
       it = bundles_.erase(it);
+      refresh_summary(origin);
       ++removed;
     } else {
       ++it;
@@ -75,7 +95,9 @@ void BundleStore::remove(const BundleId& id) {
   auto it = bundles_.find(id);
   if (it == bundles_.end()) return;
   by_creation_.erase({it->second.bundle.creation_ts, id});
+  on_removed(it->second);
   bundles_.erase(it);
+  refresh_summary(id.origin);
 }
 
 void BundleStore::evict_if_needed() {
@@ -83,8 +105,14 @@ void BundleStore::evict_if_needed() {
     // Evict the oldest bundle by creation time (drop-head policy); the
     // creation-time index makes this O(log n) per eviction.
     auto oldest = by_creation_.begin();
-    bundles_.erase(oldest->second);
+    auto it = bundles_.find(oldest->second);
+    pki::UserId origin = oldest->second.origin;
+    if (it != bundles_.end()) {
+      on_removed(it->second);
+      bundles_.erase(it);
+    }
     by_creation_.erase(oldest);
+    refresh_summary(origin);
     ++evicted_;
   }
 }

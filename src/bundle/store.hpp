@@ -34,8 +34,15 @@ class BundleStore {
   std::size_t capacity() const { return capacity_; }
 
   /// Highest message number held per publisher — the plain-text
-  /// advertisement dictionary content.
-  std::map<pki::UserId, std::uint32_t> summary() const;
+  /// advertisement dictionary content. Maintained incrementally on
+  /// insert/remove/expire/evict: routing schemes query it on every
+  /// forwarding decision, and rebuilding it per call dominated dense
+  /// scenario sweeps.
+  const std::map<pki::UserId, std::uint32_t>& summary() const { return summary_; }
+
+  /// Unicast bundles currently held (lets advertisement builders skip the
+  /// full-store unicast scan in the common all-pub/sub workload).
+  std::size_t unicast_count() const { return unicast_count_; }
 
   /// All bundles from `origin` with msg_num > after, ascending.
   std::vector<Bundle> newer_than(const pki::UserId& origin, std::uint32_t after) const;
@@ -52,11 +59,18 @@ class BundleStore {
 
  private:
   void evict_if_needed();
+  /// Re-derive one publisher's summary entry after a removal (O(log n):
+  /// BundleId ordering is (origin, msg_num), so the surviving max is the
+  /// last element of the origin's range).
+  void refresh_summary(const pki::UserId& origin);
+  void on_removed(const StoredBundle& stored);
 
   std::map<BundleId, StoredBundle> bundles_;
   // Secondary index ordered by creation time: drop-head eviction pops the
   // oldest bundle in O(log n) instead of scanning the whole store.
   std::set<std::pair<util::SimTime, BundleId>> by_creation_;
+  std::map<pki::UserId, std::uint32_t> summary_;
+  std::size_t unicast_count_ = 0;
   std::size_t capacity_;
   std::uint64_t evicted_ = 0;
   std::uint64_t duplicates_ = 0;

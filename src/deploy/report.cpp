@@ -10,6 +10,11 @@ void Table::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
+void Table::set_row(std::size_t index, std::vector<std::string> cells) {
+  if (index >= rows_.size()) rows_.resize(index + 1);
+  rows_[index] = std::move(cells);
+}
+
 void Table::print() const {
   std::vector<std::size_t> widths(headers_.size(), 0);
   for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
@@ -37,7 +42,8 @@ void Table::print() const {
   print_sep();
   print_row(headers_);
   print_sep();
-  for (const auto& row : rows_) print_row(row);
+  for (const auto& row : rows_)
+    if (!row.empty()) print_row(row);
   print_sep();
 }
 

@@ -12,6 +12,10 @@ class Table {
  public:
   explicit Table(std::vector<std::string> headers);
   void add_row(std::vector<std::string> cells);
+  /// Place a row at a fixed position no matter the call order — sweep
+  /// workers finish out of order but the printed grid must not. Grows the
+  /// table as needed; rows never set are skipped when printing.
+  void set_row(std::size_t index, std::vector<std::string> cells);
   void print() const;
 
  private:

@@ -1,6 +1,7 @@
 #include "deploy/scenario.hpp"
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "alleyoop/app.hpp"
@@ -50,27 +51,101 @@ std::vector<util::SimTime> posting_times(const ScenarioConfig& config, util::Rng
 }
 }  // namespace
 
-ScenarioResult run_scenario(const ScenarioConfig& config) {
+namespace {
+/// Generate the config's mobility trajectories. Must consume exactly one
+/// fork of the scenario RNG regardless of mode so the graph/workload
+/// streams stay identical between live and replay runs.
+std::unique_ptr<sim::TrajectoryMobility> build_mobility(const ScenarioConfig& config,
+                                                        util::Rng& rng) {
+  sim::DailyRoutineParams mobility_params = config.mobility;
+  mobility_params.area = {config.area_w_m, config.area_h_m};
+  util::Rng mobility_rng = rng.fork();
+  return sim::daily_routine(config.nodes, util::days(config.days), mobility_params,
+                            mobility_rng);
+}
+
+/// Social graph selection. Forks the scenario RNG only in the sampled
+/// branch, so override/Fig-4a configs leave the stream untouched.
+graph::Digraph build_social_graph(const ScenarioConfig& config, util::Rng& rng) {
+  if (config.social) return *config.social;
+  if (config.nodes == 10) return graph::baker2017_social_graph();
+  util::Rng graph_rng = rng.fork();
+  // Density in the ballpark of the deployment's 0.64 undirected density.
+  return graph::social_community(config.nodes, 0.38, 0.35, graph_rng);
+}
+}  // namespace
+
+graph::Digraph scenario_social_graph(const ScenarioConfig& config) {
+  util::Rng rng(config.seed);
+  util::Rng mobility_rng = rng.fork();  // consumed first by run_scenario
+  (void)mobility_rng;
+  return build_social_graph(config, rng);
+}
+
+std::shared_ptr<const ScenarioWorld> record_world(const ScenarioConfig& config) {
+  sim::Scheduler sched;
+  util::Rng rng(config.seed);
+  double horizon = util::days(config.days);
+  auto mobility = build_mobility(config, rng);
+
+  sim::EncounterDetector detector(sched, *mobility, config.radio.range_m,
+                                  config.encounter_tick_s);
+  sim::TraceRecorder recorder(sched);
+  detector.on_contact_start = [&](std::size_t a, std::size_t b) {
+    recorder.contact_start(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b));
+  };
+  detector.on_contact_end = [&](std::size_t a, std::size_t b) {
+    recorder.contact_end(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b));
+  };
+  detector.start(horizon);
+  sched.run_until(horizon);
+  return std::make_shared<ScenarioWorld>(
+      ScenarioWorld{sim::TrajectoryMobility(std::move(*mobility)), recorder.finish()});
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* world) {
   sim::Scheduler sched;
   util::Rng rng(config.seed);
   double horizon = util::days(config.days);
 
   // --- mobility + radio ----------------------------------------------------
-  sim::DailyRoutineParams mobility_params = config.mobility;
-  mobility_params.area = {config.area_w_m, config.area_h_m};
-  util::Rng mobility_rng = rng.fork();
-  auto mobility = sim::daily_routine(config.nodes, horizon, mobility_params, mobility_rng);
+  std::unique_ptr<sim::TrajectoryMobility> owned_mobility;
+  const sim::MobilityModel* mobility = nullptr;
+  if (world) {
+    // Replay mode: positions come from the recorded trajectories; consume
+    // the mobility fork anyway to keep the downstream RNG streams aligned.
+    util::Rng discard = rng.fork();
+    (void)discard;
+    mobility = &world->mobility;
+  } else {
+    owned_mobility = build_mobility(config, rng);
+    mobility = owned_mobility.get();
+  }
 
   sim::MpcNetwork net(sched, config.nodes, config.radio);
-  sim::EncounterDetector detector(sched, *mobility, config.radio.range_m,
-                                  config.encounter_tick_s);
-  detector.on_contact_start = [&](std::size_t a, std::size_t b) {
+  auto range_on = [&net](std::uint32_t a, std::uint32_t b) {
     net.set_in_range(static_cast<sim::PeerId>(a), static_cast<sim::PeerId>(b), true);
   };
-  detector.on_contact_end = [&](std::size_t a, std::size_t b) {
+  auto range_off = [&net](std::uint32_t a, std::uint32_t b) {
     net.set_in_range(static_cast<sim::PeerId>(a), static_cast<sim::PeerId>(b), false);
   };
-  detector.start(horizon);
+  std::optional<sim::EncounterDetector> detector;
+  std::optional<sim::TracePlayer> player;
+  if (world) {
+    player.emplace(sched, world->trace);
+    player->on_contact_start = range_on;
+    player->on_contact_end = range_off;
+    player->start();
+  } else {
+    detector.emplace(sched, *mobility, config.radio.range_m, config.encounter_tick_s);
+    detector->on_contact_start = [&](std::size_t a, std::size_t b) {
+      range_on(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b));
+    };
+    detector->on_contact_end = [&](std::size_t a, std::size_t b) {
+      range_off(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b));
+    };
+    detector->start(horizon);
+  }
 
   // --- users: Fig 2a bootstrap, SOS node, AlleyOop app ---------------------
   pki::BootstrapService infra(
@@ -90,22 +165,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     mw::SosConfig mw_config;
     mw_config.scheme = config.scheme;
     mw_config.resume_lifetime_s = config.resume_lifetime_s;
+    mw_config.verify_batch_window_s = config.verify_batch_window_s;
     nodes.push_back(std::make_unique<mw::SosNode>(
         sched, net.endpoint(static_cast<sim::PeerId>(i)), std::move(*creds), mw_config));
     apps.push_back(std::make_unique<alleyoop::App>(*nodes.back(), &cloud));
   }
 
   // --- social graph (subscriptions) -----------------------------------------
-  graph::Digraph social;
-  if (config.social) {
-    social = *config.social;
-  } else if (config.nodes == 10) {
-    social = graph::baker2017_social_graph();
-  } else {
-    util::Rng graph_rng = rng.fork();
-    // Density in the ballpark of the deployment's 0.64 undirected density.
-    social = graph::social_community(config.nodes, 0.38, 0.35, graph_rng);
-  }
+  graph::Digraph social = build_social_graph(config, rng);
   result.social = social;
 
   std::map<pki::UserId, std::set<pki::UserId>> follows;
@@ -171,13 +238,17 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     result.totals.bundles_received += s.bundles_received;
     result.totals.bundle_sig_rejected += s.bundle_sig_rejected;
     result.totals.bundle_cert_rejected += s.bundle_cert_rejected;
+    result.totals.bundle_sig_cache_hits += s.bundle_sig_cache_hits;
+    result.totals.bundle_sig_cache_misses += s.bundle_sig_cache_misses;
+    result.totals.bundle_batch_verifies += s.bundle_batch_verifies;
+    result.totals.bundle_batch_fallbacks += s.bundle_batch_fallbacks;
     result.totals.duplicates_ignored += s.duplicates_ignored;
     result.totals.bundles_carried += s.bundles_carried;
     result.totals.deliveries += s.deliveries;
     result.totals.transfers_interrupted += s.transfers_interrupted;
     result.totals.published += s.published;
   }
-  result.contacts = detector.total_contacts_seen();
+  result.contacts = world ? world->trace.size() : detector->total_contacts_seen();
   result.wire_frames = net.frames_sent();
   result.wire_bytes = net.bytes_sent();
   result.connections = net.connections_established();

@@ -6,6 +6,7 @@
 // social graph, IB routing); every knob is exposed for the ablations.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -13,6 +14,7 @@
 #include "graph/digraph.hpp"
 #include "mw/stats.hpp"
 #include "sim/radio.hpp"
+#include "sim/trace.hpp"
 
 namespace sos::deploy {
 
@@ -32,6 +34,12 @@ struct ScenarioConfig {
   /// Session-resumption secret lifetime handed to each node's SosConfig
   /// (0 = every contact pays the full cert-exchange + X25519 handshake).
   double resume_lifetime_s = 86400.0;
+
+  /// Batch-verification window handed to each node's SosConfig: > 0 queues
+  /// received bundles this many sim-seconds and verifies them in one batch
+  /// signature pass (throughput up, dissemination latency up by up to the
+  /// window); 0 verifies synchronously.
+  double verify_batch_window_s = 0.0;
 
   /// Social graph; node i follows node j iff edge (i, j). Defaults to the
   /// reconstructed Fig 4a graph when nodes == 10, otherwise a sampled
@@ -56,11 +64,37 @@ struct ScenarioResult {
   double simulated_days = 0;
 };
 
-/// Build and run the scenario to completion.
-ScenarioResult run_scenario(const ScenarioConfig& config);
+/// The deterministic "world" of a scenario — the mobility trajectories and
+/// the contact trace the encounter detector produces over them. Everything
+/// in it depends only on the world-shaping config fields (nodes, area, days,
+/// mobility, radio, encounter tick) and the seed, never on the routing
+/// scheme or middleware knobs, so scheme variants of one sweep cell can
+/// record it once and replay it instead of re-running detection.
+struct ScenarioWorld {
+  sim::TrajectoryMobility mobility;
+  sim::ContactTrace trace;
+};
+
+/// Record a config's world: generate mobility and run one detector pass
+/// over the full horizon, capturing the contact trace.
+std::shared_ptr<const ScenarioWorld> record_world(const ScenarioConfig& config);
+
+/// Build and run the scenario to completion. With `world`, the recorded
+/// contact trace is replayed through a TracePlayer (no per-run encounter
+/// detection) and the recorded trajectories serve position lookups; the
+/// world must have been recorded from a config with identical
+/// world-shaping fields and seed.
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            const ScenarioWorld* world = nullptr);
 
 /// The §VI configuration (defaults above) with the given scheme and seed.
 ScenarioConfig gainesville_config(const std::string& scheme = "interest",
                                   std::uint64_t seed = 42);
+
+/// The social graph run_scenario will use for `config` — the explicit
+/// override, the reconstructed Fig 4a graph (10 nodes), or the sampled
+/// campus community drawn from the config's own RNG stream. Exposed so
+/// graph-characterization benches describe exactly what a sweep simulates.
+graph::Digraph scenario_social_graph(const ScenarioConfig& config);
 
 }  // namespace sos::deploy

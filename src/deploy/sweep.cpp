@@ -1,0 +1,157 @@
+#include "deploy/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace sos::deploy {
+
+namespace {
+struct WorkItem {
+  std::size_t cell = 0;
+  std::size_t variant = 0;
+};
+
+ScenarioConfig variant_config(const SweepCell& cell, const ScenarioVariant& v,
+                              const SweepOptions& opts, std::size_t cell_index) {
+  ScenarioConfig config = cell.config;
+  if (opts.derive_seeds) config.seed = util::derive_seed(opts.base_seed, cell_index);
+  config.scheme = v.scheme;
+  config.resume_lifetime_s = v.resume_lifetime_s;
+  config.verify_batch_window_s = v.verify_batch_window_s;
+  return config;
+}
+}  // namespace
+
+ScenarioConfig SweepRunner::cell_config(const SweepCell& cell, std::size_t cell_index,
+                                        std::size_t variant_index) const {
+  return variant_config(cell, cell.variants.at(variant_index), opts_, cell_index);
+}
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {
+  if (opts_.jobs == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    opts_.jobs = hw > 0 ? hw : 1;
+  }
+}
+
+std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) const {
+  std::vector<WorkItem> items;
+  for (std::size_t c = 0; c < cells.size(); ++c)
+    for (std::size_t v = 0; v < cells[c].variants.size(); ++v) items.push_back({c, v});
+
+  std::vector<CellResult> results(items.size());
+  // Worlds are recorded lazily, once per cell, by whichever worker reaches
+  // the cell first; call_once blocks that cell's other variants (not other
+  // cells) until the recording is done.
+  std::unique_ptr<std::once_flag[]> world_once(new std::once_flag[cells.size()]);
+  std::vector<std::shared_ptr<const ScenarioWorld>> worlds(cells.size());
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < items.size(); i = next.fetch_add(1)) {
+      const WorkItem& item = items[i];
+      const SweepCell& cell = cells[item.cell];
+      const ScenarioVariant& variant = cell.variants[item.variant];
+      ScenarioConfig config = variant_config(cell, variant, opts_, item.cell);
+
+      std::shared_ptr<const ScenarioWorld> world;
+      if (opts_.reuse_traces) {
+        std::call_once(world_once[item.cell],
+                       [&] { worlds[item.cell] = record_world(config); });
+        world = worlds[item.cell];
+      }
+
+      CellResult& out = results[i];
+      auto t0 = std::chrono::steady_clock::now();
+      out.result = run_scenario(config, world.get());
+      out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      out.cell = item.cell;
+      out.variant = item.variant;
+      const std::string& vlabel = variant.label.empty() ? variant.scheme : variant.label;
+      out.label = cell.label.empty() ? vlabel : cell.label + "/" + vlabel;
+      out.config = std::move(config);
+      out.replayed = world != nullptr;
+    }
+  };
+
+  if (opts_.jobs <= 1 || items.size() <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    std::size_t n = std::min(opts_.jobs, items.size());
+    pool.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  return results;
+}
+
+namespace {
+/// Strict numeric parse; a typo must not silently become 0 (= saturate
+/// every core). Invalid input warns and keeps the current value.
+std::size_t parse_jobs(const char* text, std::size_t fallback, const char* source) {
+  char* end = nullptr;
+  long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "warning: ignoring non-numeric %s value '%s'\n", source, text);
+    return fallback;
+  }
+  return static_cast<std::size_t>(v);
+}
+}  // namespace
+
+SweepOptions sweep_options_from_args(int argc, char** argv) {
+  SweepOptions opts;
+  if (const char* env = std::getenv("SOS_SWEEP_JOBS")) {
+    opts.jobs = parse_jobs(env, opts.jobs, "SOS_SWEEP_JOBS");
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+      if (i + 1 < argc) {
+        opts.jobs = parse_jobs(argv[++i], opts.jobs, "--jobs");
+      } else {
+        std::fprintf(stderr, "warning: %s needs a value; ignoring\n", arg);
+      }
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      opts.jobs = parse_jobs(arg + 7, opts.jobs, "--jobs");
+    } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+      opts.jobs = parse_jobs(arg + 2, opts.jobs, "-j");
+    }
+  }
+  return opts;
+}
+
+std::vector<SweepCell> density_ablation_grid(double days) {
+  auto cell = [days](std::size_t nodes, double w_m, double h_m) {
+    SweepCell c;
+    c.label = std::to_string(nodes) + "n";
+    c.config = gainesville_config("interest");
+    c.config.nodes = nodes;
+    c.config.area_w_m = w_m;
+    c.config.area_h_m = h_m;
+    c.config.days = days;
+    // Keep per-user posting volume constant as the population grows.
+    c.config.total_posts_target = 26.0 * static_cast<double>(nodes);
+    c.variants = {{"interest", "interest", 86400.0, 0.0}};
+    return c;
+  };
+  return {
+      cell(10, 11000, 8000),   // the deployment: 0.11 nodes/km^2
+      cell(20, 11000, 8000),
+      cell(50, 11000, 8000),
+      cell(20, 4000, 4000),    // mid density
+      cell(50, 2000, 2000),    // "typical DTN sim": 12.5 nodes/km^2
+      cell(100, 2000, 2000),
+  };
+}
+
+}  // namespace sos::deploy

@@ -1,0 +1,101 @@
+// SweepRunner: the engine behind every scenario grid in the evaluation
+// (Fig 4a-d, ablations). A sweep is a list of independent cells — one
+// (mobility, density, workload) world each — times the scheme/middleware
+// variants to run over that world. The runner owns what every bench driver
+// used to reimplement serially:
+//
+//   * fan-out: cells x variants execute on a thread pool (--jobs N),
+//   * seeding: each cell draws its RNG stream via splitmix64 from
+//     (base seed, cell index), so metrics are bitwise identical at any
+//     thread count and any completion order,
+//   * record-once/replay-many: a cell's mobility + contact trace are
+//     recorded once and every variant replays them through a TracePlayer
+//     instead of re-running the EncounterDetector,
+//   * aggregation: results come back in grid order, never completion order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deploy/scenario.hpp"
+
+namespace sos::deploy {
+
+/// One middleware/routing variant replayed over a cell's shared world.
+/// Only fields that cannot change the world are here by construction.
+struct ScenarioVariant {
+  std::string label;                      // defaults to the scheme name
+  std::string scheme = "interest";
+  double resume_lifetime_s = 86400.0;
+  double verify_batch_window_s = 0.0;
+};
+
+/// One grid cell: a world/workload config plus the variants sharing it.
+/// `config.scheme`/`resume`/`verify_batch` are overridden per variant;
+/// `config.seed` is overridden by the runner's derived per-cell seed.
+struct SweepCell {
+  std::string label;
+  ScenarioConfig config;
+  std::vector<ScenarioVariant> variants{ScenarioVariant{}};
+};
+
+struct CellResult {
+  std::size_t cell = 0;          // index into the input grid
+  std::size_t variant = 0;       // index into that cell's variants
+  std::string label;             // "<cell label>/<variant label>"
+  ScenarioConfig config;         // as executed (derived seed filled in)
+  ScenarioResult result;
+  double wall_s = 0.0;
+  bool replayed = false;         // ran from the recorded world
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = fully serial.
+  std::size_t jobs = 1;
+  std::uint64_t base_seed = 42;
+  /// Derive each cell's seed from (base_seed, cell index). Off, cells keep
+  /// the seed already in their config — the figure-regeneration benches
+  /// pin the calibrated Gainesville seed this way.
+  bool derive_seeds = true;
+  /// Record each cell's world once and replay it for every variant. Off,
+  /// every variant regenerates mobility and re-runs live detection (the
+  /// pre-sweep behavior; metrics may differ slightly from the replay path
+  /// because replayed contact events are individually scheduled).
+  bool reuse_traces = true;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {});
+
+  /// Execute every (cell, variant) pair. The returned vector is ordered by
+  /// (cell, variant) regardless of which worker finished first, and every
+  /// metric in it is a pure function of (base seed, grid) — never of
+  /// `jobs`.
+  std::vector<CellResult> run(const std::vector<SweepCell>& cells) const;
+
+  /// The exact config `run` executes for one (cell, variant) — including
+  /// the derived per-cell seed. Characterization benches use this instead
+  /// of re-deriving seeds, so they cannot drift from the sweep.
+  ScenarioConfig cell_config(const SweepCell& cell, std::size_t cell_index,
+                             std::size_t variant_index = 0) const;
+
+  const SweepOptions& options() const { return opts_; }
+
+ private:
+  SweepOptions opts_;
+};
+
+/// Bench-driver CLI: parses `--jobs N` (and bare `-jN`); falls back to the
+/// SOS_SWEEP_JOBS environment variable, then to serial.
+SweepOptions sweep_options_from_args(int argc, char** argv);
+
+/// The canonical density-ablation grid (§VI-B follow-up): the deployment's
+/// sparse operating point down to "typical DTN sim" densities, IB routing,
+/// ~26 posts/user/week. Shared by bench_ablation_density, the
+/// BM_DensitySweep snapshot, and fig4a's community-graph characterization
+/// so they can never drift apart.
+std::vector<SweepCell> density_ablation_grid(double days = 3.0);
+
+}  // namespace sos::deploy

@@ -36,7 +36,7 @@ class RoutingContext {
 
   /// Highest message number held for a publisher (0 if none).
   std::uint32_t max_held(const pki::UserId& uid) const {
-    auto s = store_.summary();
+    const auto& s = store_.summary();
     auto it = s.find(uid);
     return it == s.end() ? 0 : it->second;
   }
@@ -45,6 +45,7 @@ class RoutingContext {
   /// entry that tells a passing destination "I have mail for you".
   std::map<pki::UserId, std::uint32_t> unicast_dest_summary() const {
     std::map<pki::UserId, std::uint32_t> out;
+    if (store_.unicast_count() == 0) return out;  // all-pub/sub fast path
     for (const auto* stored : store_.all()) {
       if (!stored->bundle.is_unicast()) continue;
       auto& max = out[stored->bundle.dest];

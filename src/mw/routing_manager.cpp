@@ -70,9 +70,11 @@ void RoutingManager::refresh_advertisement() {
 SummaryFrame RoutingManager::build_summary() {
   SummaryFrame summary;
   summary.entries = scheme_->advertisement(ctx());
-  for (const auto* stored : msgs_.store().all()) {
-    if (stored->bundle.is_unicast())
-      summary.unicast.push_back({stored->bundle.id(), stored->bundle.dest});
+  if (msgs_.store().unicast_count() > 0) {
+    for (const auto* stored : msgs_.store().all()) {
+      if (stored->bundle.is_unicast())
+        summary.unicast.push_back({stored->bundle.id(), stored->bundle.dest});
+    }
   }
   summary.scheme_blob = scheme_->summary_blob(ctx());
   return summary;

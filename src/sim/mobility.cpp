@@ -37,6 +37,13 @@ namespace {
 Vec2 random_point(const AreaSpec& area, util::Rng& rng) {
   return {rng.uniform(0, area.width_m), rng.uniform(0, area.height_m)};
 }
+
+// Guards for degenerate waypoint parameters: a zero speed draw (e.g.
+// min_speed_mps == max_speed_mps == 0) would make travel infinite, and a
+// zero-distance leg with zero pause (e.g. a 0x0 area) would never advance
+// the clock, spinning the generation loop forever.
+constexpr double kMinSpeedMps = 1e-3;
+constexpr double kMinAdvanceS = 1e-3;
 }  // namespace
 
 std::unique_ptr<TrajectoryMobility> random_waypoint(std::size_t nodes, util::SimTime horizon,
@@ -48,14 +55,24 @@ std::unique_ptr<TrajectoryMobility> random_waypoint(std::size_t nodes, util::Sim
     util::SimTime t = 0;
     Vec2 pos = random_point(params.area, rng);
     tr.add(t, pos);
+    double skip = kMinAdvanceS;
     while (t < horizon) {
       Vec2 target = random_point(params.area, rng);
-      double speed = rng.uniform(params.min_speed_mps, params.max_speed_mps);
+      double speed = std::max(rng.uniform(params.min_speed_mps, params.max_speed_mps),
+                              kMinSpeedMps);
       double travel = distance(pos, target) / speed;
+      double pause = rng.uniform(params.min_pause_s, params.max_pause_s);
+      if (travel + pause < kMinAdvanceS) {  // degenerate leg: skip it, keep moving
+        // Double the skip while legs stay degenerate (e.g. a 0x0 area) so a
+        // permanently-degenerate config costs O(log horizon), not horizon/ms.
+        t += skip;
+        skip = std::min(skip * 2, horizon);
+        continue;
+      }
+      skip = kMinAdvanceS;
       t += travel;
       tr.add(t, target);
       pos = target;
-      double pause = rng.uniform(params.min_pause_s, params.max_pause_s);
       if (pause > 0) {
         t += pause;
         tr.add(t, pos);
@@ -73,6 +90,7 @@ std::unique_ptr<TrajectoryMobility> levy_walk(std::size_t nodes, util::SimTime h
     util::SimTime t = 0;
     Vec2 pos = random_point(params.area, rng);
     tr.add(t, pos);
+    double skip = kMinAdvanceS;
     while (t < horizon) {
       // Inverse-CDF sample of a bounded Pareto flight length.
       double u = rng.uniform();
@@ -89,10 +107,18 @@ std::unique_ptr<TrajectoryMobility> levy_walk(std::size_t nodes, util::SimTime h
       if (target.y > params.area.height_m) target.y = 2 * params.area.height_m - target.y;
       target.x = std::clamp(target.x, 0.0, params.area.width_m);
       target.y = std::clamp(target.y, 0.0, params.area.height_m);
-      t += distance(pos, target) / params.speed_mps;
+      double speed = std::max(params.speed_mps, kMinSpeedMps);
+      double travel = distance(pos, target) / speed;
+      double pause = rng.uniform(0, params.max_pause_s);
+      if (travel + pause < kMinAdvanceS) {  // degenerate leg: skip it, keep moving
+        t += skip;
+        skip = std::min(skip * 2, horizon);
+        continue;
+      }
+      skip = kMinAdvanceS;
+      t += travel;
       tr.add(t, target);
       pos = target;
-      double pause = rng.uniform(0, params.max_pause_s);
       if (pause > 0) {
         t += pause;
         tr.add(t, pos);

@@ -86,14 +86,22 @@ ContactTrace TraceRecorder::finish() {
 }
 
 void TracePlayer::start() {
+  pending_.reserve(pending_.size() + 2 * trace_.contacts().size());
   for (const auto& c : trace_.contacts()) {
-    sched_.schedule_at(c.start, [this, c] {
+    pending_.push_back(sched_.schedule_at(c.start, [this, c] {
       if (on_contact_start) on_contact_start(c.a, c.b);
-    });
-    sched_.schedule_at(c.end, [this, c] {
+    }));
+    pending_.push_back(sched_.schedule_at(c.end, [this, c] {
       if (on_contact_end) on_contact_end(c.a, c.b);
-    });
+    }));
   }
+}
+
+void TracePlayer::stop() {
+  // Cancelling an id that already fired is a no-op, so the whole list can
+  // be cancelled blindly.
+  for (EventId id : pending_) sched_.cancel(id);
+  pending_.clear();
 }
 
 }  // namespace sos::sim

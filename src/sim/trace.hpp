@@ -77,16 +77,25 @@ class TracePlayer {
  public:
   TracePlayer(Scheduler& sched, ContactTrace trace)
       : sched_(sched), trace_(std::move(trace)) {}
+  /// Cancels any still-pending contact events: the scheduled callbacks
+  /// capture `this`, so a player destroyed mid-run must not leave them
+  /// behind in the scheduler.
+  ~TracePlayer() { stop(); }
+  TracePlayer(const TracePlayer&) = delete;
+  TracePlayer& operator=(const TracePlayer&) = delete;
 
   std::function<void(std::uint32_t, std::uint32_t)> on_contact_start;
   std::function<void(std::uint32_t, std::uint32_t)> on_contact_end;
 
   /// Schedule every contact event; call before running the scheduler.
   void start();
+  /// Cancel every not-yet-fired contact event.
+  void stop();
 
  private:
   Scheduler& sched_;
   ContactTrace trace_;
+  std::vector<EventId> pending_;
 };
 
 }  // namespace sos::sim

@@ -18,6 +18,15 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  // Mix the base once so adjacent bases decorrelate, then offset by the
+  // index on the golden-ratio stride splitmix64 was designed around.
+  std::uint64_t x = base;
+  std::uint64_t mixed = splitmix64(x);
+  x = mixed ^ (index * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t x = seed;
   for (auto& s : s_) s = splitmix64(x);

@@ -9,6 +9,12 @@
 
 namespace sos::util {
 
+/// Derive a decorrelated seed from (base, index) via splitmix64 — the
+/// per-cell streams of a scenario sweep. Nearby indices (0, 1, 2, ...) give
+/// unrelated streams, and the result depends only on the two inputs, never
+/// on execution order, so sweeps stay reproducible at any thread count.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eedbeefcafef00dULL);

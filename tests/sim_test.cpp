@@ -154,6 +154,55 @@ TEST_P(MobilityBounds, PositionsStayInArea) {
 
 INSTANTIATE_TEST_SUITE_P(Models, MobilityBounds, ::testing::Values(0, 1, 2));
 
+// Degenerate-parameter regressions: a zero speed draw used to produce an
+// infinite travel time, and a zero-distance leg with zero pause (e.g. a 0x0
+// area) used to spin the generation loop forever without advancing t.
+TEST(RandomWaypoint, ZeroSpeedParamsTerminateWithFiniteAnchors) {
+  su::Rng rng(3);
+  ss::RandomWaypointParams params;
+  params.min_speed_mps = 0.0;
+  params.max_speed_mps = 0.0;
+  params.min_pause_s = 0.0;
+  params.max_pause_s = 0.0;
+  auto m = ss::random_waypoint(3, 5000.0, params, rng);
+  for (std::size_t node = 0; node < 3; ++node) {
+    const auto& tr = m->trajectory(node);
+    EXPECT_TRUE(std::isfinite(tr.end_time()));
+    auto p = m->position(node, 2500.0);
+    EXPECT_TRUE(std::isfinite(p.x));
+    EXPECT_TRUE(std::isfinite(p.y));
+  }
+}
+
+TEST(RandomWaypoint, ZeroAreaZeroPauseDoesNotHang) {
+  su::Rng rng(4);
+  ss::RandomWaypointParams params;
+  params.area = {0.0, 0.0};  // every target equals the current position
+  params.min_pause_s = 0.0;
+  params.max_pause_s = 0.0;
+  auto m = ss::random_waypoint(2, 1000.0, params, rng);
+  for (std::size_t node = 0; node < 2; ++node) {
+    auto p = m->position(node, 500.0);
+    EXPECT_DOUBLE_EQ(p.x, 0.0);
+    EXPECT_DOUBLE_EQ(p.y, 0.0);
+  }
+}
+
+TEST(LevyWalk, ZeroSpeedZeroPauseDoesNotHang) {
+  su::Rng rng(5);
+  ss::LevyWalkParams params;
+  params.speed_mps = 0.0;
+  params.max_pause_s = 0.0;
+  auto m = ss::levy_walk(2, 2000.0, params, rng);
+  for (std::size_t node = 0; node < 2; ++node) {
+    const auto& tr = m->trajectory(node);
+    EXPECT_TRUE(std::isfinite(tr.end_time()));
+    auto p = m->position(node, 1000.0);
+    EXPECT_TRUE(std::isfinite(p.x));
+    EXPECT_TRUE(std::isfinite(p.y));
+  }
+}
+
 class MobilityDeterminism : public ::testing::TestWithParam<int> {};
 
 TEST_P(MobilityDeterminism, SameSeedSamePositions) {

@@ -111,6 +111,43 @@ TEST(TracePlayer, ReplaysAtExactTimes) {
   EXPECT_DOUBLE_EQ(events[3].first, 300.0);
 }
 
+TEST(TracePlayer, DestroyedPlayerCancelsPendingEvents) {
+  // The scheduled callbacks capture `this`; a player destroyed mid-run must
+  // cancel them or the scheduler would later invoke a dangling pointer.
+  ss::Scheduler sched;
+  int events = 0;
+  {
+    ss::ContactTrace t;
+    t.add({100, 200, 0, 1});
+    t.add({150, 300, 1, 2});
+    ss::TracePlayer player(sched, t);
+    player.on_contact_start = [&](std::uint32_t, std::uint32_t) { ++events; };
+    player.on_contact_end = [&](std::uint32_t, std::uint32_t) { ++events; };
+    player.start();
+    sched.run_until(120);  // first start fires...
+    EXPECT_EQ(events, 1);
+  }  // ...then the player dies with three events still queued
+  sched.run_all();
+  EXPECT_EQ(events, 1);  // none of the dangling callbacks ran
+  EXPECT_EQ(sched.cancelled_backlog(), 0u);
+}
+
+TEST(TracePlayer, StopThenRestartReplaysAgain) {
+  ss::ContactTrace t;
+  t.add({10, 20, 0, 1});
+  ss::Scheduler sched;
+  ss::TracePlayer player(sched, t);
+  int events = 0;
+  player.on_contact_start = [&](std::uint32_t, std::uint32_t) { ++events; };
+  player.start();
+  player.stop();
+  sched.run_all();
+  EXPECT_EQ(events, 0);
+  player.start();  // past timestamps clamp to now and still fire
+  sched.run_all();
+  EXPECT_EQ(events, 1);
+}
+
 TEST(TracePlayer, DrivesFullMiddlewareStack) {
   // Replay a hand-written deployment trace through the real stack: Alice
   // meets Bob at t=100..200, Bob meets Carol at t=500..600; Carol receives
