@@ -4,7 +4,9 @@
 // needed". This bench performs that investigation: node-count and area
 // sweeps under IB routing, plus the recurring-pair session-churn sweep.
 // All cells run on deploy::SweepRunner (pass --jobs N to parallelize;
-// metrics are bitwise identical at any thread count).
+// --episode-jobs M additionally replays each cell on the episode-
+// partitioned engine; metrics are bitwise identical either way and at any
+// thread count).
 #include <chrono>
 #include <cstdio>
 #include <string>

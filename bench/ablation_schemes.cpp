@@ -68,31 +68,38 @@ int main(int argc, char** argv) {
   batch.label = "";
   batch.config = deploy::gainesville_config("epidemic");
   batch.variants = {
-      {"window 0s (sync)", "epidemic", 86400.0, 0.0},
-      {"window 5s", "epidemic", 86400.0, 5.0},
-      {"window 30s", "epidemic", 86400.0, 30.0},
+      {"window 0s (sync)", "epidemic", 86400.0, 0.0, false},
+      {"window 5s", "epidemic", 86400.0, 5.0, false},
+      {"window 5s", "epidemic", 86400.0, 5.0, true},
+      {"window 30s", "epidemic", 86400.0, 30.0, false},
+      {"window 30s", "epidemic", 86400.0, 30.0, true},
   };
   auto batch_results = runner.run({batch});
 
-  deploy::Table bt({"verify batch", "deliveries", "median delay", "P[<=24h]",
-                    "batch passes", "batch fallbacks", "sig verifies", "wall s"});
+  deploy::Table bt({"verify batch", "adaptive", "deliveries", "median delay", "P[<=24h]",
+                    "batch passes", "batch fallbacks", "sig verifies", "interrupted",
+                    "wall s"});
   for (const auto& r : batch_results) {
     const auto& oracle = r.result.oracle;
     const auto& s = r.result.totals;
     auto delays = oracle.delay_cdf(false);
     bt.set_row(r.variant,
-               {r.label, std::to_string(oracle.delivery_count()),
+               {r.label, r.config.verify_batch_adaptive ? "yes" : "no",
+                std::to_string(oracle.delivery_count()),
                 util::format_duration(delays.quantile(0.5)),
                 deploy::fmt(delays.at(util::hours(24)), 3),
                 std::to_string(s.bundle_batch_verifies),
                 std::to_string(s.bundle_batch_fallbacks),
-                std::to_string(s.bundle_sig_cache_misses), deploy::fmt(r.wall_s, 2)});
+                std::to_string(s.bundle_sig_cache_misses),
+                std::to_string(s.transfers_interrupted), deploy::fmt(r.wall_s, 2)});
   }
   bt.print();
   std::printf("the window defers each bundle's verification (and hence store/forward)\n"
               "by up to its length — visible as a right-shifted delay CDF — while the\n"
               "batch passes amortize the Ed25519 double-scalar work across the burst.\n"
-              "At day-scale delivery delays the latency cost is noise; the knob matters\n"
-              "when encounters are short and bursts are large.\n");
+              "Adaptive flushing closes the window's failure mode: entries whose\n"
+              "session drops mid-window are verified and delivered on the spot instead\n"
+              "of dying with the transfer, so long windows keep their batching without\n"
+              "sacrificing deliveries when encounters are short.\n");
   return 0;
 }

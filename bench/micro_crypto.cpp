@@ -2,10 +2,13 @@
 // bundle transfer pays for (hashing, AEAD, DH, signatures).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "crypto/aead.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/ed25519.hpp"
 #include "crypto/hkdf.hpp"
+#include "crypto/sc25519.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/sha512.hpp"
 #include "crypto/x25519.hpp"
@@ -101,6 +104,23 @@ static void BM_Ed25519VerifyBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_Ed25519VerifyBatch)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_ScMul(benchmark::State& state) {
+  // Scalar multiply mod L (Karatsuba 256x256 + fold reduction): the scalar
+  // work inside every signature and batch-verify coefficient.
+  crypto::Drbg d(util::to_bytes("scmul"));
+  std::uint8_t wide[64];
+  auto wa = d.generate(64), wb = d.generate(64);
+  std::memcpy(wide, wa.data(), 64);
+  crypto::Scalar a = crypto::sc_reduce64(wide);
+  std::memcpy(wide, wb.data(), 64);
+  crypto::Scalar b = crypto::sc_reduce64(wide);
+  for (auto _ : state) {
+    a = crypto::sc_mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_ScMul);
 
 static void BM_Hkdf(benchmark::State& state) {
   auto ikm = make_data(32);

@@ -5,9 +5,11 @@
 
 #include "bundle/store.hpp"
 #include "crypto/drbg.hpp"
+#include "deploy/replay.hpp"
 #include "deploy/sweep.hpp"
 #include "mw/sos_node.hpp"
 #include "pki/bootstrap.hpp"
+#include "sim/episode.hpp"
 #include "sim/multipeer.hpp"
 
 using namespace sos;
@@ -217,6 +219,51 @@ static void BM_DensityCell(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DensityCell)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+static void BM_DensityCellReplay(benchmark::State& state) {
+  // Intra-cell replay of the HEAVIEST density-ablation cell (100 nodes /
+  // 4 km^2 / 3 days — ~80% of the grid's wall-clock) through the replay
+  // engines. range(0) selects the engine: 0 = single-scheduler replay
+  // without the shared verify memo (the pre-engine baseline), 1 = single
+  // scheduler + shared memo, 2 = episode-partitioned at 1 worker, 3 =
+  // episode-partitioned at 4 workers. Metrics are bitwise identical across
+  // all four (tests/episode_test.cpp pins this); the memo is where the
+  // >=2x comes from — each distinct bundle/cert signature pays curve math
+  // once per run instead of once per carrying node.
+  auto grid = deploy::density_ablation_grid(3.0);
+  deploy::SweepRunner runner{deploy::SweepOptions{}};
+  const std::size_t heavy = grid.size() - 1;  // 100n / 2x2 km
+  deploy::ScenarioConfig config = runner.cell_config(grid[heavy], heavy);
+  auto world = deploy::record_world(config);
+
+  deploy::ReplayOptions replay;
+  switch (state.range(0)) {
+    case 0: replay = {false, 1, nullptr, false}; break;
+    case 1: replay = {false, 1, nullptr, true}; break;
+    case 2: replay = {true, 1, nullptr, true}; break;
+    default: replay = {true, 4, nullptr, true}; break;
+  }
+  std::uint64_t deliveries = 0;
+  for (auto _ : state) {
+    auto result = deploy::run_scenario(config, world.get(), replay);
+    deliveries = result.totals.deliveries;
+    benchmark::DoNotOptimize(deliveries);
+  }
+  auto graph = sim::EpisodeGraph::partition(world->trace, config.nodes,
+                                            86400.0 * config.days);
+  state.counters["deliveries"] = static_cast<double>(deliveries);
+  state.counters["episodes"] = static_cast<double>(graph.episodes().size());
+  state.counters["parallelism"] = graph.parallelism();
+}
+BENCHMARK(BM_DensityCellReplay)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 static void BM_DensitySweep(benchmark::State& state) {
   // The full bench_ablation_density density grid through deploy::SweepRunner.

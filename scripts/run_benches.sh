@@ -9,21 +9,43 @@
 #   scripts/run_benches.sh --jobs 4 build
 # Sweep metrics are bitwise identical for any N (only wall-clock changes);
 # N is also exported as SOS_SWEEP_JOBS so the bench binaries pick it up
-# when run directly.
+# when run directly. SOS_EPISODE_JOBS / --episode-jobs (forwarded the same
+# way) additionally replays each cell on the episode-partitioned engine.
+#
+# With --check, no benches run: the script configures a TSan build
+# (-DSOS_SANITIZE=thread) in <build-dir>-tsan and runs the `sweep`-labelled
+# determinism tests under it, so data races in the sharded replay engine
+# fail loudly:
+#   scripts/run_benches.sh --check build
 set -euo pipefail
 
 jobs=""
+check=0
 args=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --jobs)   jobs="${2:?--jobs needs a value}"; shift 2 ;;
     --jobs=*) jobs="${1#--jobs=}"; shift ;;
+    --check)  check=1; shift ;;
     *)        args+=("$1"); shift ;;
   esac
 done
 
-build_dir="${args[0]:?usage: run_benches.sh [--jobs N] <build-dir> [repo-root]}"
+build_dir="${args[0]:?usage: run_benches.sh [--jobs N] [--check] <build-dir> [repo-root]}"
 repo_root="${args[1]:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+if [[ $check -eq 1 ]]; then
+  # Thread-sanitized run of the sweep/episode determinism suite. A separate
+  # build tree keeps the instrumented objects away from the bench build.
+  tsan_dir="${build_dir%/}-tsan"
+  echo "== TSan check: configuring $tsan_dir =="
+  cmake -B "$tsan_dir" -S "$repo_root" -DSOS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$tsan_dir" -j "$(nproc)" --target sweep_test episode_test
+  echo "== TSan check: ctest -L sweep =="
+  ctest --test-dir "$tsan_dir" -L sweep --output-on-failure
+  echo "TSan sweep suite clean"
+  exit 0
+fi
 
 # Fail before running anything if a bench binary is missing: otherwise the
 # script would die mid-way having refreshed only some BENCH_*.json files,

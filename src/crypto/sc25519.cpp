@@ -111,21 +111,95 @@ Scalar store256(const U256& r) {
   return out;
 }
 
+// 2x2-limb schoolbook product into out[0..3] (exact, no truncation).
+void mul128(const u64 a[2], const u64 b[2], u64 out[4]) {
+  u128 t0 = (u128)a[0] * b[0];
+  u128 t1 = (u128)a[0] * b[1];
+  u128 t2 = (u128)a[1] * b[0];
+  u128 t3 = (u128)a[1] * b[1];
+  out[0] = (u64)t0;
+  u128 mid = (t0 >> 64) + (u64)t1 + (u64)t2;
+  out[1] = (u64)mid;
+  u128 hi = (mid >> 64) + (t1 >> 64) + (t2 >> 64) + (u64)t3;
+  out[2] = (u64)hi;
+  out[3] = (u64)((hi >> 64) + (t3 >> 64));
+}
+
+// Karatsuba 256x256 -> 512: three 128x128 products instead of the
+// schoolbook's four (12 vs 16 64x64 multiplies). With a = a1*2^128 + a0:
+//   a*b = z0 + ((a0+a1)(b0+b1) - z0 - z2) * 2^128 + z2 * 2^256
+// The half-sums can carry into bit 128; the carries contribute the exact
+// cross terms ca*sb_lo, cb*sa_lo and ca*cb*2^256 handled below.
 U512 mul256(const Scalar& a, const Scalar& b) {
   u64 aw[4], bw[4];
   for (int i = 0; i < 4; ++i) {
     aw[i] = sos::util::load64_le(a.data() + 8 * i);
     bw[i] = sos::util::load64_le(b.data() + 8 * i);
   }
-  U512 out;
-  for (int i = 0; i < 4; ++i) {
+  u64 z0[4], z2[4], z1[4];
+  mul128(aw, bw, z0);          // a0 * b0
+  mul128(aw + 2, bw + 2, z2);  // a1 * b1
+
+  // sa = a0 + a1 (129 bits: sa_lo + ca*2^128), sb likewise.
+  u64 sa[2], sb[2];
+  u128 c = (u128)aw[0] + aw[2];
+  sa[0] = (u64)c;
+  c = (c >> 64) + aw[1] + aw[3];
+  sa[1] = (u64)c;
+  u64 ca = (u64)(c >> 64);
+  c = (u128)bw[0] + bw[2];
+  sb[0] = (u64)c;
+  c = (c >> 64) + bw[1] + bw[3];
+  sb[1] = (u64)c;
+  u64 cb = (u64)(c >> 64);
+  mul128(sa, sb, z1);  // sa_lo * sb_lo (the carry cross terms join below)
+
+  // mid = z1 + ca*sb_lo + cb*sa_lo + ca*cb*2^128 - z0 - z2, a signed-free
+  // accumulation: sum the positive parts into a 5-limb value first.
+  u64 mid[5] = {z1[0], z1[1], z1[2], z1[3], 0};
+  auto add2_at = [&mid](const u64 x[2], u64 scale, int pos) {
+    if (scale == 0) return;
     u128 carry = 0;
-    for (int j = 0; j < 4; ++j) {
-      u128 cur = (u128)aw[i] * bw[j] + out.w[i + j] + carry;
-      out.w[i + j] = (u64)cur;
+    for (int i = 0; i < 2; ++i) {
+      u128 cur = (u128)x[i] * scale + mid[pos + i] + carry;
+      mid[pos + i] = (u64)cur;
       carry = cur >> 64;
     }
-    out.w[i + 4] += (u64)carry;
+    for (int i = pos + 2; carry != 0 && i < 5; ++i) {
+      u128 cur = (u128)mid[i] + (u64)carry;
+      mid[i] = (u64)cur;
+      carry = cur >> 64;
+    }
+  };
+  add2_at(sb, ca, 2);  // ca * sb_lo * 2^128
+  add2_at(sa, cb, 2);  // cb * sa_lo * 2^128
+  if (ca && cb) {
+    u128 cur = (u128)mid[4] + 1;  // ca*cb * 2^256
+    mid[4] = (u64)cur;
+  }
+  // mid -= z0 + z2 (non-negative by construction).
+  __int128 acc = 0;
+  for (int i = 0; i < 5; ++i) {
+    acc += mid[i];
+    if (i < 4) acc -= (u128)z0[i] + z2[i];
+    mid[i] = (u64)acc;
+    acc >>= 64;  // arithmetic shift propagates the borrow
+  }
+
+  // out = z0 + mid*2^128 + z2*2^256, each addition carried to the top.
+  U512 out;
+  for (int i = 0; i < 4; ++i) out.w[i] = z0[i];
+  u128 carry = 0;
+  for (int i = 2; i < 8; ++i) {
+    u128 cur = (u128)out.w[i] + (i - 2 < 5 ? mid[i - 2] : 0) + carry;
+    out.w[i] = (u64)cur;
+    carry = cur >> 64;
+  }
+  carry = 0;
+  for (int i = 4; i < 8; ++i) {
+    u128 cur = (u128)out.w[i] + z2[i - 4] + carry;
+    out.w[i] = (u64)cur;
+    carry = cur >> 64;
   }
   return out;
 }

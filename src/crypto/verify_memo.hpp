@@ -1,0 +1,69 @@
+// VerifyMemo: a cross-node memo of Ed25519 verification verdicts for
+// deterministic replay engines. In a scenario replay every node re-verifies
+// the same (public key, message, signature) triples — each distinct bundle
+// and certificate is checked once per carrying node — yet the verdict is a
+// pure function of the triple. Sharing one memo across all simulated nodes
+// (and across episode worker threads) collapses that redundancy without
+// changing any simulated metric: per-node counters still record the checks
+// the real device would perform; only the simulator skips recomputing the
+// curve math. Safe under concurrency because a late writer stores the same
+// verdict an earlier writer did.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "crypto/ed25519.hpp"
+
+namespace sos::crypto {
+
+class VerifyMemo {
+ public:
+  VerifyMemo() = default;
+  VerifyMemo(const VerifyMemo&) = delete;
+  VerifyMemo& operator=(const VerifyMemo&) = delete;
+
+  using Key = std::array<std::uint8_t, 32>;  // SHA-256 of pub || msg || sig
+  static Key key_of(const EdPublicKey& pub, util::ByteView msg, const EdSignature& sig);
+
+  /// Memoized ed25519_verify(pub, msg, sig): computes the verdict on first
+  /// sight of the triple, returns the stored verdict afterwards.
+  bool verify(const EdPublicKey& pub, util::ByteView msg, const EdSignature& sig);
+
+  /// Stored verdict for a triple, if any (nullopt = not yet computed).
+  /// Batch callers hash the triple once with key_of and reuse the key for
+  /// the matching store() after their batch pass.
+  std::optional<bool> lookup(const Key& key) const;
+  /// Record a verdict computed externally (e.g. by a batch pass).
+  void store(const Key& key, bool ok);
+
+  std::size_t size() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h;
+      std::memcpy(&h, k.data(), sizeof(h));  // already uniform
+      return h;
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, bool, KeyHash> verdicts;
+  };
+
+  Shard& shard(const Key& k) { return shards_[k[31] & (kShards - 1)]; }
+  const Shard& shard(const Key& k) const { return shards_[k[31] & (kShards - 1)]; }
+
+  // A replay holds a few thousand distinct signatures; past this bound the
+  // memo stops inserting (reads keep working) rather than grow unbounded.
+  static constexpr std::size_t kMaxEntriesPerShard = 1 << 18;
+  static constexpr std::size_t kShards = 16;  // power of two
+  Shard shards_[kShards];
+};
+
+}  // namespace sos::crypto

@@ -1,0 +1,288 @@
+#include "deploy/replay.hpp"
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "alleyoop/app.hpp"
+#include "crypto/verify_memo.hpp"
+#include "deploy/scenario_detail.hpp"
+#include "sim/episode.hpp"
+#include "sim/multipeer.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace sos::deploy {
+
+namespace {
+
+/// Everything one episode produces; merged into the ScenarioResult in
+/// episode-index order so the outcome never depends on completion order.
+struct EpisodeOut {
+  MetricsOracle oracle;
+  std::uint64_t wire_frames = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t frames_lost = 0;
+};
+
+/// Shared engine state. Episode workers touch disjoint slices: an episode
+/// only reads/writes its member nodes' state (exclusive by the DAG's
+/// per-node chaining) and its own EpisodeOut slot.
+struct EngineState {
+  const ScenarioConfig& config;
+  const ScenarioWorld& world;
+  const sim::EpisodeGraph& graph;
+  std::vector<std::unique_ptr<mw::SosNode>>& nodes;
+  std::vector<std::unique_ptr<alleyoop::App>>& apps;
+  const std::vector<std::vector<util::SimTime>>& post_times;
+  std::vector<std::size_t>& post_cursor;       // next unscheduled post per node
+  std::vector<util::SimTime>& resume_at;       // per-node timeline progress
+  std::vector<EpisodeOut>& outs;
+  double horizon;
+};
+
+void run_episode(const EngineState& st, std::size_t ei) {
+  const sim::Episode& e = st.graph.episodes()[ei];
+  const ScenarioConfig& config = st.config;
+  util::SimTime t_start = st.horizon;
+  for (std::uint32_t n : e.nodes) t_start = std::min(t_start, st.resume_at[n]);
+  const util::SimTime t_end = e.contacts.empty() ? st.horizon : e.last_end;
+
+  sim::Scheduler sched(t_start);
+  sim::MpcNetwork net(sched, config.nodes, config.radio);
+
+  // The episode's contact subset, in trace order — the same relative order
+  // (and therefore the same same-timestamp FIFO behavior) the full trace
+  // has on the single-scheduler path.
+  sim::ContactTrace sub;
+  for (std::size_t ci : e.contacts) sub.add(st.world.trace.contacts()[ci]);
+  sim::TracePlayer player(sched, std::move(sub));
+  player.on_contact_start = [&net](std::uint32_t a, std::uint32_t b) {
+    net.set_in_range(static_cast<sim::PeerId>(a), static_cast<sim::PeerId>(b), true);
+  };
+  player.on_contact_end = [&net](std::uint32_t a, std::uint32_t b) {
+    net.set_in_range(static_cast<sim::PeerId>(a), static_cast<sim::PeerId>(b), false);
+  };
+  player.start();
+
+  EpisodeOut& out = st.outs[ei];
+  const sim::TrajectoryMobility& mobility = st.world.mobility;
+
+  // Attach members in ascending node order — the order the single-scheduler
+  // path registers their timers in, so same-timestamp ties break alike.
+  for (std::uint32_t n : e.nodes) {
+    mw::SosNode& node = *st.nodes[n];
+    node.attach(sched, net.endpoint(static_cast<sim::PeerId>(n)));
+    std::size_t idx = n;
+    node.on_carry = [&out, &node, &sched, &mobility, idx](const bundle::Bundle& b) {
+      out.oracle.record_carry(
+          {b.id(), node.user_id(), sched.now(), mobility.position(idx, sched.now())});
+    };
+    node.on_data = [&out, &node, &sched, &mobility, idx](const bundle::Bundle& b,
+                                                         const pki::Certificate&) {
+      out.oracle.record_delivery({b.id(), node.user_id(), sched.now(), b.hop_count,
+                                  mobility.position(idx, sched.now())});
+    };
+  }
+
+  // This episode's slice of the posting workload: each member's next posts
+  // up to the episode end, numbered exactly as the single-scheduler path
+  // numbers them (cursor + 1 over the node's full posting list).
+  for (std::uint32_t n : e.nodes) {
+    const std::vector<util::SimTime>& times = st.post_times[n];
+    std::size_t& cursor = st.post_cursor[n];
+    while (cursor < times.size() && times[cursor] <= t_end) {
+      const util::SimTime t = times[cursor];
+      const int k = static_cast<int>(cursor) + 1;
+      const std::size_t idx = n;
+      alleyoop::App& app = *st.apps[n];
+      mw::SosNode& node = *st.nodes[n];
+      sched.schedule_at(t, [&out, &app, &node, &sched, &mobility, idx, k] {
+        auto post = app.post("post #" + std::to_string(k) + " by user" + std::to_string(idx));
+        out.oracle.record_post({{node.user_id(), post.msg_num},
+                                node.user_id(),
+                                sched.now(),
+                                mobility.position(idx, sched.now())});
+      });
+      ++cursor;
+    }
+  }
+
+  sched.run_until(t_end);
+
+  for (std::uint32_t n : e.nodes) {
+    mw::SosNode& node = *st.nodes[n];
+    node.on_carry = nullptr;
+    node.on_data = nullptr;
+    node.detach();
+    st.resume_at[n] = t_end;
+  }
+  out.wire_frames = net.frames_sent();
+  out.wire_bytes = net.bytes_sent();
+  out.connections = net.connections_established();
+  out.frames_lost = net.frames_lost();
+  // player cancels its leftover events before sched is destroyed.
+}
+
+}  // namespace
+
+ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
+                                        const ScenarioWorld& world,
+                                        const ReplayOptions& replay) {
+  const double horizon = util::days(config.days);
+  sim::EpisodeGraph graph = sim::EpisodeGraph::partition(world.trace, config.nodes, horizon);
+
+  // --- RNG streams, consumed in exactly the single-scheduler order --------
+  util::Rng rng(config.seed);
+  {
+    util::Rng discard = rng.fork();  // the mobility fork replay mode skips
+    (void)discard;
+  }
+
+  // --- fleet setup on a staging substrate ---------------------------------
+  // Nodes are constructed and started against a scheduler that never runs
+  // an event (only timer deadlines register), then detached; each episode
+  // attaches its members to its own shard.
+  sim::Scheduler staging;
+  sim::MpcNetwork staging_net(staging, config.nodes, config.radio);
+  crypto::VerifyMemo verify_memo;  // shared across nodes AND episode workers
+  detail::Fleet fleet;
+  detail::build_fleet(fleet, config, staging, staging_net,
+                      replay.share_verify_memo ? &verify_memo : nullptr);
+  auto& nodes = fleet.nodes;
+  auto& apps = fleet.apps;
+
+  ScenarioResult result;
+  graph::Digraph social = detail::build_social_graph(config, rng);
+  result.social = social;
+  result.oracle.set_subscriptions(detail::wire_follows(fleet, social));
+
+  for (auto& node : nodes) node->start();
+  for (auto& node : nodes) node->detach();
+
+  util::Rng workload_rng = rng.fork();
+  std::vector<std::vector<util::SimTime>> post_times(config.nodes);
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    post_times[i] = detail::posting_times(config, workload_rng);
+  }
+  std::vector<std::size_t> post_cursor(config.nodes, 0);
+  std::vector<util::SimTime> resume_at(config.nodes, 0.0);
+
+  const auto& episodes = graph.episodes();
+  std::vector<EpisodeOut> outs(episodes.size());
+  EngineState st{config,     world,       graph,     nodes, apps,
+                 post_times, post_cursor, resume_at, outs,  horizon};
+
+  // --- execute the episode DAG --------------------------------------------
+  std::vector<std::size_t> pending(episodes.size(), 0);
+  std::vector<std::vector<std::size_t>> dependents(episodes.size());
+  std::set<std::size_t> ready;
+  for (std::size_t i = 0; i < episodes.size(); ++i) {
+    pending[i] = episodes[i].deps.size();
+    for (std::size_t d : episodes[i].deps) dependents[d].push_back(i);
+    if (pending[i] == 0) ready.insert(i);
+  }
+
+  std::size_t workers = replay.jobs;
+  if (workers == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    workers = hw > 0 ? hw : 1;
+  }
+
+  std::size_t done = 0;
+  if (workers <= 1 && replay.budget == nullptr) {
+    while (!ready.empty()) {
+      std::size_t i = *ready.begin();
+      ready.erase(ready.begin());
+      run_episode(st, i);
+      ++done;
+      for (std::size_t d : dependents[i]) {
+        if (--pending[d] == 0) ready.insert(d);
+      }
+    }
+  } else {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t running = 0;
+    std::vector<std::thread> helpers;
+    std::size_t borrowed = 0;
+
+    std::function<void()> worker;  // named so a worker can spawn another
+    worker = [&] {
+      std::unique_lock<std::mutex> lock(mu);
+      for (;;) {
+        if (done == episodes.size()) return;
+        if (ready.empty()) {
+          if (running == 0) return;  // cycle guard: nothing can make progress
+          cv.wait(lock);
+          continue;
+        }
+        std::size_t i = *ready.begin();
+        ready.erase(ready.begin());
+        ++running;
+        lock.unlock();
+        run_episode(st, i);
+        lock.lock();
+        --running;
+        ++done;
+        for (std::size_t d : dependents[i]) {
+          if (--pending[d] == 0) ready.insert(d);
+        }
+        // Opportunistic growth: tokens freed by finished sweep cells can be
+        // picked up mid-run (the heavy cell usually starts while its grid
+        // siblings still hold theirs).
+        if (replay.budget != nullptr && ready.size() > 1 &&
+            helpers.size() + 1 < workers && replay.budget->acquire(1) == 1) {
+          ++borrowed;
+          helpers.emplace_back(worker);
+        }
+        cv.notify_all();
+      }
+    };
+
+    // One worker is this thread; the rest borrow from the shared budget
+    // when one is present (the sweep's thread allowance), else spawn up to
+    // the requested job count.
+    std::size_t want = workers > 0 ? workers - 1 : 0;
+    if (replay.budget != nullptr) {
+      borrowed = replay.budget->acquire(want);
+      want = borrowed;
+    }
+    helpers.reserve(want);
+    for (std::size_t i = 0; i < want; ++i) helpers.emplace_back(worker);
+    worker();
+    {
+      // Wake helpers parked on an empty ready set so they observe done.
+      std::lock_guard<std::mutex> lock(mu);
+      cv.notify_all();
+    }
+    for (auto& t : helpers) t.join();
+    if (replay.budget != nullptr && borrowed > 0) replay.budget->release(borrowed);
+  }
+  if (done != episodes.size()) {
+    throw std::logic_error("episode graph failed to complete (dependency cycle?)");
+  }
+
+  // --- merge, in episode-index order ---------------------------------------
+  for (const EpisodeOut& out : outs) {
+    for (const auto& r : out.oracle.posts()) result.oracle.record_post(r);
+    for (const auto& r : out.oracle.carries()) result.oracle.record_carry(r);
+    for (const auto& r : out.oracle.deliveries()) result.oracle.record_delivery(r);
+    result.wire_frames += out.wire_frames;
+    result.wire_bytes += out.wire_bytes;
+    result.connections += out.connections;
+    result.frames_lost += out.frames_lost;
+  }
+  for (const auto& node : nodes) detail::add_stats(result.totals, node->stats());
+  result.contacts = world.trace.size();
+  result.simulated_days = config.days;
+  return result;
+}
+
+}  // namespace sos::deploy

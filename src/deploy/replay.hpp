@@ -1,0 +1,49 @@
+// Episode-partitioned replay engine. A recorded ScenarioWorld fixes every
+// contact before replay begins, so sim::EpisodeGraph can cut the run into
+// causally-independent episodes; this engine executes that DAG — one
+// scheduler/network shard per episode, per-node middleware state carried
+// across shard boundaries through the SosNode detach/attach seam — and
+// merges per-episode metrics in deterministic episode order. Results are
+// bitwise identical to the single-scheduler replay at any worker count.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "deploy/scenario.hpp"
+
+namespace sos::deploy {
+
+/// Token pool shared between cell-level (SweepRunner) and episode-level
+/// workers: a sweep hands its thread budget to one WorkerBudget; episode
+/// engines borrow extra workers from it and return them, so nested
+/// parallelism never oversubscribes the requested job count.
+class WorkerBudget {
+ public:
+  explicit WorkerBudget(std::size_t tokens) : available_(tokens) {}
+
+  /// Take up to `want` tokens; returns how many were granted (possibly 0).
+  std::size_t acquire(std::size_t want) {
+    std::size_t cur = available_.load(std::memory_order_relaxed);
+    while (cur > 0) {
+      std::size_t take = want < cur ? want : cur;
+      if (available_.compare_exchange_weak(cur, cur - take, std::memory_order_relaxed)) {
+        return take;
+      }
+    }
+    return 0;
+  }
+  void release(std::size_t n) { available_.fetch_add(n, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::size_t> available_;
+};
+
+/// Run `config` over the recorded world on the episode-partitioned engine.
+/// Called through run_scenario(config, &world, {.partition = true, ...});
+/// exposed for tests that want the engine unconditionally.
+ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
+                                        const ScenarioWorld& world,
+                                        const ReplayOptions& replay);
+
+}  // namespace sos::deploy

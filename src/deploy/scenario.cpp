@@ -6,6 +6,9 @@
 
 #include "alleyoop/app.hpp"
 #include "crypto/drbg.hpp"
+#include "crypto/verify_memo.hpp"
+#include "deploy/replay.hpp"
+#include "deploy/scenario_detail.hpp"
 #include "graph/generators.hpp"
 #include "pki/bootstrap.hpp"
 #include "sim/multipeer.hpp"
@@ -21,9 +24,8 @@ ScenarioConfig gainesville_config(const std::string& scheme, std::uint64_t seed)
   return config;
 }
 
-namespace {
-/// Per-node posting times: Poisson within the daily waking window, scaled
-/// so the expected total across nodes matches total_posts_target.
+namespace detail {
+
 std::vector<util::SimTime> posting_times(const ScenarioConfig& config, util::Rng& rng) {
   double horizon = util::days(config.days);
   double window = util::hours(config.post_window_end_h - config.post_window_start_h);
@@ -49,12 +51,7 @@ std::vector<util::SimTime> posting_times(const ScenarioConfig& config, util::Rng
   }
   return times;
 }
-}  // namespace
 
-namespace {
-/// Generate the config's mobility trajectories. Must consume exactly one
-/// fork of the scenario RNG regardless of mode so the graph/workload
-/// streams stay identical between live and replay runs.
 std::unique_ptr<sim::TrajectoryMobility> build_mobility(const ScenarioConfig& config,
                                                         util::Rng& rng) {
   sim::DailyRoutineParams mobility_params = config.mobility;
@@ -64,8 +61,6 @@ std::unique_ptr<sim::TrajectoryMobility> build_mobility(const ScenarioConfig& co
                             mobility_rng);
 }
 
-/// Social graph selection. Forks the scenario RNG only in the sampled
-/// branch, so override/Fig-4a configs leave the stream untouched.
 graph::Digraph build_social_graph(const ScenarioConfig& config, util::Rng& rng) {
   if (config.social) return *config.social;
   if (config.nodes == 10) return graph::baker2017_social_graph();
@@ -73,20 +68,81 @@ graph::Digraph build_social_graph(const ScenarioConfig& config, util::Rng& rng) 
   // Density in the ballpark of the deployment's 0.64 undirected density.
   return graph::social_community(config.nodes, 0.38, 0.35, graph_rng);
 }
-}  // namespace
+
+void build_fleet(Fleet& fleet, const ScenarioConfig& config, sim::Scheduler& sched,
+                 sim::MpcNetwork& net, crypto::VerifyMemo* verify_memo) {
+  pki::BootstrapService infra(
+      util::concat(util::to_bytes("scenario-infra-"),
+                   util::Bytes{static_cast<std::uint8_t>(config.seed)}));
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    crypto::Drbg device(util::concat(util::to_bytes("device-" + std::to_string(i) + "-seed-"),
+                                     util::Bytes{static_cast<std::uint8_t>(config.seed)}));
+    auto creds = infra.signup("user" + std::to_string(i), device, sched.now());
+    mw::SosConfig mw_config;
+    mw_config.scheme = config.scheme;
+    mw_config.resume_lifetime_s = config.resume_lifetime_s;
+    mw_config.verify_batch_window_s = config.verify_batch_window_s;
+    mw_config.verify_batch_adaptive = config.verify_batch_adaptive;
+    fleet.nodes.push_back(std::make_unique<mw::SosNode>(
+        sched, net.endpoint(static_cast<sim::PeerId>(i)), std::move(*creds), mw_config));
+    if (verify_memo != nullptr) fleet.nodes.back()->set_verify_memo(verify_memo);
+    fleet.apps.push_back(std::make_unique<alleyoop::App>(*fleet.nodes.back(), &fleet.cloud));
+  }
+}
+
+std::map<pki::UserId, std::set<pki::UserId>> wire_follows(Fleet& fleet,
+                                                          const graph::Digraph& social) {
+  std::map<pki::UserId, std::set<pki::UserId>> follows;
+  for (auto [i, j] : social.edges()) {
+    fleet.apps[i]->follow(fleet.nodes[j]->user_id());
+    follows[fleet.nodes[i]->user_id()].insert(fleet.nodes[j]->user_id());
+  }
+  return follows;
+}
+
+void add_stats(mw::NodeStats& a, const mw::NodeStats& b) {
+  a.sessions_established += b.sessions_established;
+  a.sessions_lost += b.sessions_lost;
+  a.full_handshakes += b.full_handshakes;
+  a.sessions_resumed += b.sessions_resumed;
+  a.resume_attempts += b.resume_attempts;
+  a.resume_rejected += b.resume_rejected;
+  a.ecdh_ops += b.ecdh_ops;
+  a.handshake_cert_rejected += b.handshake_cert_rejected;
+  a.handshake_sig_rejected += b.handshake_sig_rejected;
+  a.frames_sent += b.frames_sent;
+  a.frames_received += b.frames_received;
+  a.decrypt_failures += b.decrypt_failures;
+  a.malformed_frames += b.malformed_frames;
+  a.bundles_sent += b.bundles_sent;
+  a.bundles_received += b.bundles_received;
+  a.bundle_sig_rejected += b.bundle_sig_rejected;
+  a.bundle_cert_rejected += b.bundle_cert_rejected;
+  a.bundle_sig_cache_hits += b.bundle_sig_cache_hits;
+  a.bundle_sig_cache_misses += b.bundle_sig_cache_misses;
+  a.bundle_batch_verifies += b.bundle_batch_verifies;
+  a.bundle_batch_fallbacks += b.bundle_batch_fallbacks;
+  a.duplicates_ignored += b.duplicates_ignored;
+  a.bundles_carried += b.bundles_carried;
+  a.deliveries += b.deliveries;
+  a.transfers_interrupted += b.transfers_interrupted;
+  a.published += b.published;
+}
+
+}  // namespace detail
 
 graph::Digraph scenario_social_graph(const ScenarioConfig& config) {
   util::Rng rng(config.seed);
   util::Rng mobility_rng = rng.fork();  // consumed first by run_scenario
   (void)mobility_rng;
-  return build_social_graph(config, rng);
+  return detail::build_social_graph(config, rng);
 }
 
 std::shared_ptr<const ScenarioWorld> record_world(const ScenarioConfig& config) {
   sim::Scheduler sched;
   util::Rng rng(config.seed);
   double horizon = util::days(config.days);
-  auto mobility = build_mobility(config, rng);
+  auto mobility = detail::build_mobility(config, rng);
 
   sim::EncounterDetector detector(sched, *mobility, config.radio.range_m,
                                   config.encounter_tick_s);
@@ -103,7 +159,12 @@ std::shared_ptr<const ScenarioWorld> record_world(const ScenarioConfig& config) 
       ScenarioWorld{sim::TrajectoryMobility(std::move(*mobility)), recorder.finish()});
 }
 
-ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* world) {
+ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* world,
+                            const ReplayOptions& replay) {
+  if (world != nullptr && replay.partition) {
+    return replay_scenario_episodes(config, *world, replay);
+  }
+
   sim::Scheduler sched;
   util::Rng rng(config.seed);
   double horizon = util::days(config.days);
@@ -118,7 +179,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* w
     (void)discard;
     mobility = &world->mobility;
   } else {
-    owned_mobility = build_mobility(config, rng);
+    owned_mobility = detail::build_mobility(config, rng);
     mobility = owned_mobility.get();
   }
 
@@ -148,39 +209,25 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* w
   }
 
   // --- users: Fig 2a bootstrap, SOS node, AlleyOop app ---------------------
-  pki::BootstrapService infra(
-      util::concat(util::to_bytes("scenario-infra-"),
-                   util::Bytes{static_cast<std::uint8_t>(config.seed)}));
-  std::vector<std::unique_ptr<mw::SosNode>> nodes;
-  std::vector<std::unique_ptr<alleyoop::App>> apps;
-  alleyoop::CloudService cloud;
-
   ScenarioResult result;
   MetricsOracle& oracle = result.oracle;
 
-  for (std::size_t i = 0; i < config.nodes; ++i) {
-    crypto::Drbg device(util::concat(util::to_bytes("device-" + std::to_string(i) + "-seed-"),
-                                     util::Bytes{static_cast<std::uint8_t>(config.seed)}));
-    auto creds = infra.signup("user" + std::to_string(i), device, sched.now());
-    mw::SosConfig mw_config;
-    mw_config.scheme = config.scheme;
-    mw_config.resume_lifetime_s = config.resume_lifetime_s;
-    mw_config.verify_batch_window_s = config.verify_batch_window_s;
-    nodes.push_back(std::make_unique<mw::SosNode>(
-        sched, net.endpoint(static_cast<sim::PeerId>(i)), std::move(*creds), mw_config));
-    apps.push_back(std::make_unique<alleyoop::App>(*nodes.back(), &cloud));
-  }
+  // Replay runs share one memo of signature verdicts across all nodes: the
+  // verdict is a pure function of (key, message, signature), so each
+  // distinct triple pays the curve math once per run instead of once per
+  // carrying node. Counters and metrics are unchanged.
+  std::optional<crypto::VerifyMemo> verify_memo;
+  if (world != nullptr && replay.share_verify_memo) verify_memo.emplace();
+
+  detail::Fleet fleet;
+  detail::build_fleet(fleet, config, sched, net, verify_memo ? &*verify_memo : nullptr);
+  auto& nodes = fleet.nodes;
+  auto& apps = fleet.apps;
 
   // --- social graph (subscriptions) -----------------------------------------
-  graph::Digraph social = build_social_graph(config, rng);
+  graph::Digraph social = detail::build_social_graph(config, rng);
   result.social = social;
-
-  std::map<pki::UserId, std::set<pki::UserId>> follows;
-  for (auto [i, j] : social.edges()) {
-    apps[i]->follow(nodes[j]->user_id());
-    follows[nodes[i]->user_id()].insert(nodes[j]->user_id());
-  }
-  oracle.set_subscriptions(follows);
+  oracle.set_subscriptions(detail::wire_follows(fleet, social));
 
   // --- instrumentation --------------------------------------------------------
   for (std::size_t i = 0; i < config.nodes; ++i) {
@@ -202,7 +249,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* w
   for (std::size_t i = 0; i < config.nodes; ++i) {
     std::size_t idx = i;
     int k = 0;
-    for (util::SimTime t : posting_times(config, workload_rng)) {
+    for (util::SimTime t : detail::posting_times(config, workload_rng)) {
       ++k;
       sched.schedule_at(t, [&, idx, k] {
         auto post = apps[idx]->post("post #" + std::to_string(k) + " by user" +
@@ -219,35 +266,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* w
   sched.run_until(horizon);
 
   // --- collect ----------------------------------------------------------------------
-  for (const auto& node : nodes) {
-    const mw::NodeStats& s = node->stats();
-    result.totals.sessions_established += s.sessions_established;
-    result.totals.sessions_lost += s.sessions_lost;
-    result.totals.full_handshakes += s.full_handshakes;
-    result.totals.sessions_resumed += s.sessions_resumed;
-    result.totals.resume_attempts += s.resume_attempts;
-    result.totals.resume_rejected += s.resume_rejected;
-    result.totals.ecdh_ops += s.ecdh_ops;
-    result.totals.handshake_cert_rejected += s.handshake_cert_rejected;
-    result.totals.handshake_sig_rejected += s.handshake_sig_rejected;
-    result.totals.frames_sent += s.frames_sent;
-    result.totals.frames_received += s.frames_received;
-    result.totals.decrypt_failures += s.decrypt_failures;
-    result.totals.malformed_frames += s.malformed_frames;
-    result.totals.bundles_sent += s.bundles_sent;
-    result.totals.bundles_received += s.bundles_received;
-    result.totals.bundle_sig_rejected += s.bundle_sig_rejected;
-    result.totals.bundle_cert_rejected += s.bundle_cert_rejected;
-    result.totals.bundle_sig_cache_hits += s.bundle_sig_cache_hits;
-    result.totals.bundle_sig_cache_misses += s.bundle_sig_cache_misses;
-    result.totals.bundle_batch_verifies += s.bundle_batch_verifies;
-    result.totals.bundle_batch_fallbacks += s.bundle_batch_fallbacks;
-    result.totals.duplicates_ignored += s.duplicates_ignored;
-    result.totals.bundles_carried += s.bundles_carried;
-    result.totals.deliveries += s.deliveries;
-    result.totals.transfers_interrupted += s.transfers_interrupted;
-    result.totals.published += s.published;
-  }
+  for (const auto& node : nodes) detail::add_stats(result.totals, node->stats());
   result.contacts = world ? world->trace.size() : detector->total_contacts_seen();
   result.wire_frames = net.frames_sent();
   result.wire_bytes = net.bytes_sent();

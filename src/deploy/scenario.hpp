@@ -41,6 +41,11 @@ struct ScenarioConfig {
   /// window); 0 verifies synchronously.
   double verify_batch_window_s = 0.0;
 
+  /// Adaptive flushing for that window: a peer's queued entries flush when
+  /// its session drops (and on store pressure) instead of dying with the
+  /// transfer — the batched passes without the dense-cell delivery loss.
+  bool verify_batch_adaptive = false;
+
   /// Social graph; node i follows node j iff edge (i, j). Defaults to the
   /// reconstructed Fig 4a graph when nodes == 10, otherwise a sampled
   /// campus community of matching density.
@@ -79,13 +84,36 @@ struct ScenarioWorld {
 /// over the full horizon, capturing the contact trace.
 std::shared_ptr<const ScenarioWorld> record_world(const ScenarioConfig& config);
 
+/// How a recorded world is replayed.
+struct ReplayOptions {
+  /// Episode-partitioned engine: cut the trace into causally-independent
+  /// episodes (sim::EpisodeGraph) and run each on its own scheduler shard,
+  /// carrying per-node middleware state across shard boundaries. Metrics
+  /// are bitwise identical to the single-scheduler replay at any `jobs`.
+  /// Requires a recorded world; ignored for live runs.
+  bool partition = false;
+  /// Episode-level worker threads (with partition). 1 = serial execution
+  /// of the episode DAG; results never depend on this.
+  std::size_t jobs = 1;
+  /// Optional worker pool shared with the cell-level sweep (SweepRunner):
+  /// episode workers beyond the first borrow tokens from it, so cell- and
+  /// episode-level parallelism never oversubscribe the machine together.
+  class WorkerBudget* budget = nullptr;
+  /// Share one signature-verdict memo across every node of the replay:
+  /// each distinct (key, message, signature) triple pays curve math once
+  /// per run instead of once per carrying node. Pure-function memoization —
+  /// per-node counters and all metrics are unchanged.
+  bool share_verify_memo = true;
+};
+
 /// Build and run the scenario to completion. With `world`, the recorded
 /// contact trace is replayed through a TracePlayer (no per-run encounter
 /// detection) and the recorded trajectories serve position lookups; the
 /// world must have been recorded from a config with identical
-/// world-shaping fields and seed.
+/// world-shaping fields and seed. `replay` selects the replay engine.
 ScenarioResult run_scenario(const ScenarioConfig& config,
-                            const ScenarioWorld* world = nullptr);
+                            const ScenarioWorld* world = nullptr,
+                            const ReplayOptions& replay = {});
 
 /// The §VI configuration (defaults above) with the given scheme and seed.
 ScenarioConfig gainesville_config(const std::string& scheme = "interest",

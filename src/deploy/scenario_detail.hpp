@@ -1,0 +1,62 @@
+// Internal helpers shared by the two replay engines (single-scheduler in
+// scenario.cpp, episode-partitioned in replay.cpp). Both must consume the
+// scenario RNG streams in exactly the same order and assemble byte-identical
+// workloads, so the pieces live here rather than being duplicated.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "alleyoop/app.hpp"
+#include "crypto/verify_memo.hpp"
+#include "deploy/scenario.hpp"
+#include "mw/sos_node.hpp"
+#include "sim/mobility.hpp"
+#include "sim/multipeer.hpp"
+#include "util/rng.hpp"
+
+namespace sos::deploy::detail {
+
+/// The per-run fleet: SOS nodes and their AlleyOop apps over one shared
+/// cloud backend. Member order mirrors the declaration order the engines
+/// always used (destruction: cloud, apps, nodes).
+struct Fleet {
+  std::vector<std::unique_ptr<mw::SosNode>> nodes;
+  std::vector<std::unique_ptr<alleyoop::App>> apps;
+  alleyoop::CloudService cloud;
+};
+
+/// Construct the fleet against the given substrate. Everything here —
+/// device DRBG seed strings, signup order, SosConfig plumbing — is
+/// determinism-critical and must be byte-identical for every replay
+/// engine, which is why it lives in one place. `verify_memo` (optional)
+/// is shared across all nodes.
+void build_fleet(Fleet& fleet, const ScenarioConfig& config, sim::Scheduler& sched,
+                 sim::MpcNetwork& net, crypto::VerifyMemo* verify_memo);
+
+/// Apply the social graph's follow edges to the apps and return the
+/// follower -> publishers map the metrics oracle consumes.
+std::map<pki::UserId, std::set<pki::UserId>> wire_follows(Fleet& fleet,
+                                                          const graph::Digraph& social);
+
+/// Per-node posting times: Poisson within the daily waking window, scaled
+/// so the expected total across nodes matches total_posts_target. Consumes
+/// draws from `rng` (the shared workload stream) in node-call order.
+std::vector<util::SimTime> posting_times(const ScenarioConfig& config, util::Rng& rng);
+
+/// Generate the config's mobility trajectories. Consumes exactly one fork
+/// of the scenario RNG regardless of mode so the graph/workload streams
+/// stay identical between live and replay runs.
+std::unique_ptr<sim::TrajectoryMobility> build_mobility(const ScenarioConfig& config,
+                                                        util::Rng& rng);
+
+/// Social graph selection. Forks the scenario RNG only in the sampled
+/// branch, so override/Fig-4a configs leave the stream untouched.
+graph::Digraph build_social_graph(const ScenarioConfig& config, util::Rng& rng);
+
+/// a += b for every NodeStats counter (the per-run totals aggregation).
+void add_stats(mw::NodeStats& a, const mw::NodeStats& b);
+
+}  // namespace sos::deploy::detail

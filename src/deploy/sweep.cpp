@@ -1,5 +1,7 @@
 #include "deploy/sweep.hpp"
 
+#include "deploy/replay.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -26,6 +28,7 @@ ScenarioConfig variant_config(const SweepCell& cell, const ScenarioVariant& v,
   config.scheme = v.scheme;
   config.resume_lifetime_s = v.resume_lifetime_s;
   config.verify_batch_window_s = v.verify_batch_window_s;
+  config.verify_batch_adaptive = v.verify_batch_adaptive;
   return config;
 }
 }  // namespace
@@ -54,6 +57,19 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) co
   std::unique_ptr<std::once_flag[]> world_once(new std::once_flag[cells.size()]);
   std::vector<std::shared_ptr<const ScenarioWorld>> worlds(cells.size());
 
+  // Nested parallelism: cell workers and episode workers draw on one token
+  // pool sized to the job count. Tokens not consumed by cell workers (and
+  // tokens cell workers return as the grid drains) are borrowed by the
+  // episode engines of still-running cells, so the heavy cells inherit the
+  // threads their finished siblings no longer need.
+  std::size_t cell_workers =
+      (opts_.jobs <= 1 || items.size() <= 1) ? 1 : std::min(opts_.jobs, items.size());
+  WorkerBudget budget(opts_.jobs > cell_workers ? opts_.jobs - cell_workers : 0);
+  ReplayOptions replay;
+  replay.partition = opts_.episode_jobs > 0;
+  replay.jobs = opts_.episode_jobs > 0 ? opts_.episode_jobs : 1;
+  replay.budget = opts_.episode_jobs > 0 ? &budget : nullptr;
+
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
     for (std::size_t i = next.fetch_add(1); i < items.size(); i = next.fetch_add(1)) {
@@ -71,7 +87,7 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) co
 
       CellResult& out = results[i];
       auto t0 = std::chrono::steady_clock::now();
-      out.result = run_scenario(config, world.get());
+      out.result = run_scenario(config, world.get(), replay);
       out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
       out.cell = item.cell;
       out.variant = item.variant;
@@ -80,15 +96,17 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) co
       out.config = std::move(config);
       out.replayed = world != nullptr;
     }
+    // This cell worker is done: hand its thread token to the episode
+    // engines of cells still running.
+    budget.release(1);
   };
 
-  if (opts_.jobs <= 1 || items.size() <= 1) {
+  if (cell_workers <= 1) {
     worker();
   } else {
     std::vector<std::thread> pool;
-    std::size_t n = std::min(opts_.jobs, items.size());
-    pool.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) pool.emplace_back(worker);
+    pool.reserve(cell_workers);
+    for (std::size_t i = 0; i < cell_workers; ++i) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
   }
   return results;
@@ -113,6 +131,9 @@ SweepOptions sweep_options_from_args(int argc, char** argv) {
   if (const char* env = std::getenv("SOS_SWEEP_JOBS")) {
     opts.jobs = parse_jobs(env, opts.jobs, "SOS_SWEEP_JOBS");
   }
+  if (const char* env = std::getenv("SOS_EPISODE_JOBS")) {
+    opts.episode_jobs = parse_jobs(env, opts.episode_jobs, "SOS_EPISODE_JOBS");
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
@@ -123,6 +144,14 @@ SweepOptions sweep_options_from_args(int argc, char** argv) {
       }
     } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
       opts.jobs = parse_jobs(arg + 7, opts.jobs, "--jobs");
+    } else if (std::strcmp(arg, "--episode-jobs") == 0) {
+      if (i + 1 < argc) {
+        opts.episode_jobs = parse_jobs(argv[++i], opts.episode_jobs, "--episode-jobs");
+      } else {
+        std::fprintf(stderr, "warning: %s needs a value; ignoring\n", arg);
+      }
+    } else if (std::strncmp(arg, "--episode-jobs=", 15) == 0) {
+      opts.episode_jobs = parse_jobs(arg + 15, opts.episode_jobs, "--episode-jobs");
     } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
       opts.jobs = parse_jobs(arg + 2, opts.jobs, "-j");
     }

@@ -29,6 +29,9 @@ struct ScenarioVariant {
   std::string scheme = "interest";
   double resume_lifetime_s = 86400.0;
   double verify_batch_window_s = 0.0;
+  /// Flush queued verifications on session drop / store pressure instead
+  /// of waiting out the window (ScenarioConfig::verify_batch_adaptive).
+  bool verify_batch_adaptive = false;
 };
 
 /// One grid cell: a world/workload config plus the variants sharing it.
@@ -63,6 +66,12 @@ struct SweepOptions {
   /// pre-sweep behavior; metrics may differ slightly from the replay path
   /// because replayed contact events are individually scheduled).
   bool reuse_traces = true;
+  /// > 0: replay each cell on the episode-partitioned engine with this many
+  /// episode-level workers per cell (metrics are bitwise identical either
+  /// way). Cell- and episode-level workers share one token pool of `jobs`
+  /// threads, so the sweep never runs more than `jobs` + episode_jobs - 1
+  /// busy threads and usually far fewer. 0 = single-scheduler replay.
+  std::size_t episode_jobs = 0;
 };
 
 class SweepRunner {

@@ -26,13 +26,17 @@ void make_nonce(std::uint8_t nonce[12], std::uint64_t counter) {
 
 AdHocManager::AdHocManager(sim::Scheduler& sched, sim::MpcEndpoint& endpoint,
                            const pki::DeviceCredentials& creds, NodeStats& stats)
-    : sched_(sched),
-      endpoint_(endpoint),
+    : sched_(&sched),
+      endpoint_(&endpoint),
       creds_(creds),
       stats_(stats),
       session_rng_(util::concat(util::to_bytes("session-rng-"), creds.user_id.view())),
       own_fingerprint_(cert_fingerprint(creds.certificate)) {
-  endpoint_.on_peer_found = [this](sim::PeerId peer, const sim::DiscoveryInfo& info) {
+  install_endpoint_callbacks();
+}
+
+void AdHocManager::install_endpoint_callbacks() {
+  endpoint_->on_peer_found = [this](sim::PeerId peer, const sim::DiscoveryInfo& info) {
     if (!on_peer_advert) return;
     std::map<pki::UserId, std::uint32_t> parsed;
     for (const auto& [key, value] : info) {
@@ -42,11 +46,11 @@ AdHocManager::AdHocManager(sim::Scheduler& sched, sim::MpcEndpoint& endpoint,
     }
     on_peer_advert(peer, parsed);
   };
-  endpoint_.on_peer_lost = [this](sim::PeerId peer) {
+  endpoint_->on_peer_lost = [this](sim::PeerId peer) {
     if (on_peer_gone) on_peer_gone(peer);
   };
-  endpoint_.on_connected = [this](sim::PeerId peer) { handle_connected(peer); };
-  endpoint_.on_disconnected = [this](sim::PeerId peer) {
+  endpoint_->on_connected = [this](sim::PeerId peer) { handle_connected(peer); };
+  endpoint_->on_disconnected = [this](sim::PeerId peer) {
     auto it = sessions_.find(peer);
     bool was_secure = it != sessions_.end() && it->second.secure;
     sessions_.erase(peer);
@@ -55,14 +59,39 @@ AdHocManager::AdHocManager(sim::Scheduler& sched, sim::MpcEndpoint& endpoint,
       if (on_session_down) on_session_down(peer);
     }
   };
-  endpoint_.on_receive = [this](sim::PeerId peer, util::Bytes data) {
+  endpoint_->on_receive = [this](sim::PeerId peer, util::Bytes data) {
     handle_receive(peer, std::move(data));
   };
 }
 
 void AdHocManager::start() {
-  endpoint_.start_advertising({});
-  endpoint_.start_browsing();
+  started_ = true;
+  endpoint_->start_advertising(advert_info_);
+  endpoint_->start_browsing();
+}
+
+void AdHocManager::detach() {
+  if (endpoint_ != nullptr) {
+    endpoint_->on_peer_found = nullptr;
+    endpoint_->on_peer_lost = nullptr;
+    endpoint_->on_connected = nullptr;
+    endpoint_->on_disconnected = nullptr;
+    endpoint_->on_receive = nullptr;
+  }
+  endpoint_ = nullptr;
+  sched_ = nullptr;
+}
+
+void AdHocManager::attach(sim::Scheduler& sched, sim::MpcEndpoint& endpoint) {
+  sched_ = &sched;
+  endpoint_ = &endpoint;
+  install_endpoint_callbacks();
+  if (started_) {
+    // Restore the transport surface on the fresh endpoint. No peer is in
+    // range at an episode boundary, so this schedules no discovery events.
+    endpoint_->start_advertising(advert_info_);
+    endpoint_->start_browsing();
+  }
 }
 
 sim::DiscoveryInfo AdHocManager::to_discovery_info(
@@ -73,16 +102,17 @@ sim::DiscoveryInfo AdHocManager::to_discovery_info(
 }
 
 void AdHocManager::set_advertisement(const std::map<pki::UserId, std::uint32_t>& entries) {
-  endpoint_.update_discovery_info(to_discovery_info(entries));
+  advert_info_ = to_discovery_info(entries);
+  endpoint_->update_discovery_info(advert_info_);
 }
 
 void AdHocManager::connect(sim::PeerId peer) {
-  if (endpoint_.is_connected(peer)) return;
-  endpoint_.invite(peer);
+  if (endpoint_->is_connected(peer)) return;
+  endpoint_->invite(peer);
 }
 
 void AdHocManager::disconnect(sim::PeerId peer) {
-  endpoint_.disconnect(peer);
+  endpoint_->disconnect(peer);
 }
 
 bool AdHocManager::session_secure(sim::PeerId peer) const {
@@ -135,7 +165,7 @@ void AdHocManager::send_hello(sim::PeerId peer) {
   wire.push_back(kOuterHello);
   util::append(wire, hello.encode());
   ++stats_.frames_sent;
-  endpoint_.send(peer, std::move(wire));
+  endpoint_->send(peer, std::move(wire));
 }
 
 void AdHocManager::handle_hello(sim::PeerId peer, util::ByteView payload) {
@@ -150,17 +180,18 @@ void AdHocManager::handle_hello(sim::PeerId peer, util::ByteView payload) {
     return;
   }
   // Certificate chain check against the pinned CA root (Fig 2b: "validate
-  // certificate").
-  if (creds_.trust.verify(*cert, sched_.now()) != pki::VerifyResult::Ok) {
+  // certificate"). The signature half rides the shared replay memo: the
+  // same certificate is presented at every handshake with this identity.
+  if (creds_.trust.verify(*cert, sched_->now(), verify_memo_) != pki::VerifyResult::Ok) {
     ++stats_.handshake_cert_rejected;
-    endpoint_.disconnect(peer);
+    endpoint_->disconnect(peer);
     return;
   }
   // The ephemeral key must be signed by the certified identity key,
   // otherwise an attacker could splice their own DH key into the session.
   if (!crypto::ed25519_verify(cert->subject_key, hello->signing_bytes(), hello->binding_sig)) {
     ++stats_.handshake_sig_rejected;
-    endpoint_.disconnect(peer);
+    endpoint_->disconnect(peer);
     return;
   }
 
@@ -201,7 +232,7 @@ void AdHocManager::handle_hello(sim::PeerId peer, util::ByteView payload) {
     ResumeEntry entry;
     std::memcpy(entry.secret.data(), okm.data() + 64, entry.secret.size());
     entry.cert = *cert;
-    entry.established_at = sched_.now();
+    entry.established_at = sched_->now();
     resume_cache_store(cert_fingerprint(*cert), std::move(entry));
   }
   mark_session_secure(peer, s, okm, mine_first, *cert);
@@ -249,7 +280,7 @@ void AdHocManager::send_resume(sim::PeerId peer, const ResumeEntry& entry) {
   util::append(wire, frame.encode());
   ++stats_.frames_sent;
   ++stats_.resume_attempts;
-  endpoint_.send(peer, std::move(wire));
+  endpoint_->send(peer, std::move(wire));
 }
 
 void AdHocManager::handle_resume(sim::PeerId peer, util::ByteView payload) {
@@ -327,7 +358,7 @@ AdHocManager::ResumeEntry* AdHocManager::resume_lookup(const Fingerprint& fp) {
   if (resume_lifetime_s_ <= 0) return nullptr;
   auto it = resume_cache_.find(fp);
   if (it == resume_cache_.end()) return nullptr;
-  if (sched_.now() > it->second.established_at + resume_lifetime_s_) {
+  if (sched_->now() > it->second.established_at + resume_lifetime_s_) {
     // Expired: the forward-secrecy window closed; the next contact pays the
     // full handshake and mints a fresh secret.
     resume_cache_erase(it);
@@ -335,7 +366,8 @@ AdHocManager::ResumeEntry* AdHocManager::resume_lookup(const Fingerprint& fp) {
   }
   // The certificate behind the secret is re-validated on every use: a
   // revoked or expired identity must not ride a cached secret past the CRL.
-  if (creds_.trust.verify(it->second.cert, sched_.now()) != pki::VerifyResult::Ok) {
+  if (creds_.trust.verify(it->second.cert, sched_->now(), verify_memo_) !=
+      pki::VerifyResult::Ok) {
     resume_cache_erase(it);
     return nullptr;
   }
@@ -403,7 +435,7 @@ void AdHocManager::send_frame(sim::PeerId peer, FrameType type, util::ByteView p
   wire.push_back(kOuterSealed);
   util::append(wire, sealed);
   ++stats_.frames_sent;
-  endpoint_.send(peer, std::move(wire));
+  endpoint_->send(peer, std::move(wire));
 }
 
 void AdHocManager::handle_receive(sim::PeerId peer, util::Bytes wire) {
@@ -496,8 +528,14 @@ void AdHocManager::set_verify_cache_capacity(std::size_t capacity) {
   }
 }
 
+bool AdHocManager::check_signature(const crypto::EdPublicKey& pub, util::ByteView msg,
+                                   const crypto::EdSignature& sig) {
+  if (verify_memo_) return verify_memo_->verify(pub, msg, sig);
+  return crypto::ed25519_verify(pub, msg, sig);
+}
+
 bool AdHocManager::bundle_policy_ok(const bundle::Bundle& b, const pki::Certificate& cert) {
-  if (creds_.trust.verify_policy(cert, sched_.now()) != pki::VerifyResult::Ok ||
+  if (creds_.trust.verify_policy(cert, sched_->now()) != pki::VerifyResult::Ok ||
       !(cert.subject_id == b.origin)) {
     ++stats_.bundle_cert_rejected;
     return false;
@@ -519,11 +557,11 @@ bool AdHocManager::verify_bundle(const bundle::Bundle& b, const pki::Certificate
     return true;
   }
   ++stats_.bundle_sig_cache_misses;
-  if (!crypto::ed25519_verify(creds_.trust.root_key(), cert_signed, origin_cert.signature)) {
+  if (!check_signature(creds_.trust.root_key(), cert_signed, origin_cert.signature)) {
     ++stats_.bundle_cert_rejected;
     return false;
   }
-  if (!crypto::ed25519_verify(origin_cert.subject_key, bundle_signed, b.signature)) {
+  if (!check_signature(origin_cert.subject_key, bundle_signed, b.signature)) {
     ++stats_.bundle_sig_rejected;
     return false;
   }
@@ -594,7 +632,40 @@ std::vector<bool> AdHocManager::verify_bundles(const std::vector<BundleToVerify>
   }
   ++stats_.bundle_batch_verifies;
   std::vector<bool> verdicts;
-  if (!crypto::ed25519_verify_batch(items, &verdicts)) ++stats_.bundle_batch_fallbacks;
+  if (verify_memo_) {
+    // Resolve what the shared memo already knows and batch only the residue.
+    // Counter semantics are untouched: the simulated node performed one
+    // batch pass either way; the memo only skips redundant curve math, and
+    // a fallback means what it always meant — some entry was bad.
+    verdicts.assign(items.size(), false);
+    std::vector<std::size_t> unknown;
+    std::vector<crypto::VerifyMemo::Key> unknown_keys;  // hashed once, reused by store
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      auto key = crypto::VerifyMemo::key_of(items[i].pub, items[i].msg, items[i].sig);
+      if (auto known = verify_memo_->lookup(key)) {
+        verdicts[i] = *known;
+      } else {
+        unknown.push_back(i);
+        unknown_keys.push_back(key);
+      }
+    }
+    if (!unknown.empty()) {
+      std::vector<crypto::EdBatchItem> residue;
+      residue.reserve(unknown.size());
+      for (std::size_t i : unknown) residue.push_back(items[i]);
+      std::vector<bool> residue_verdicts;
+      crypto::ed25519_verify_batch(residue, &residue_verdicts);
+      for (std::size_t k = 0; k < unknown.size(); ++k) {
+        verdicts[unknown[k]] = residue_verdicts[k];
+        verify_memo_->store(unknown_keys[k], residue_verdicts[k]);
+      }
+    }
+    bool all_ok = true;
+    for (bool v : verdicts) all_ok = all_ok && v;
+    if (!all_ok) ++stats_.bundle_batch_fallbacks;
+  } else if (!crypto::ed25519_verify_batch(items, &verdicts)) {
+    ++stats_.bundle_batch_fallbacks;
+  }
 
   for (const Pending& p : pending) {
     if (!verdicts[p.cert_item]) {

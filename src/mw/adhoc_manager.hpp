@@ -34,6 +34,7 @@
 
 #include "bundle/bundle.hpp"
 #include "crypto/drbg.hpp"
+#include "crypto/verify_memo.hpp"
 #include "mw/stats.hpp"
 #include "mw/wire.hpp"
 #include "pki/bootstrap.hpp"
@@ -48,6 +49,22 @@ class AdHocManager {
 
   /// Begin advertising + browsing (both roles, as AlleyOop does).
   void start();
+
+  // --- scheduler/network rebinding (episode-partitioned replay) ----------
+  /// Unhook from the current endpoint and scheduler. All soft state —
+  /// sessions, resumption cache, verify cache, the advertised dictionary —
+  /// survives; only the transport binding is released. Call only when no
+  /// session is live (episode boundaries are quiescent by construction).
+  void detach();
+  /// Rebind to a new scheduler/endpoint pair and restore the transport
+  /// surface (advertising + browsing + discovery dictionary) if started.
+  void attach(sim::Scheduler& sched, sim::MpcEndpoint& endpoint);
+  bool attached() const { return sched_ != nullptr; }
+
+  /// Share a cross-node memo of signature verdicts (replay engines): the
+  /// bundle/cert checks below consult it before doing curve math. Counters
+  /// are unaffected — the memo only skips recomputing a pure function.
+  void set_verify_memo(crypto::VerifyMemo* memo) { verify_memo_ = memo; }
 
   /// Replace the plain-text advertisement dictionary (UserID -> MsgNumber).
   void set_advertisement(const std::map<pki::UserId, std::uint32_t>& entries);
@@ -97,7 +114,7 @@ class AdHocManager {
   /// fingerprint (e.g. after an app-level trust change).
   void forget_resume_secret(const std::array<std::uint8_t, 32>& fingerprint);
 
-  sim::Scheduler& scheduler() { return sched_; }
+  sim::Scheduler& scheduler() { return *sched_; }
 
   // --- callbacks up to the message manager -------------------------------
   /// Peer advertisement seen while browsing (parsed dictionary).
@@ -151,6 +168,12 @@ class AdHocManager {
   /// Counts the rejection on failure.
   bool bundle_policy_ok(const bundle::Bundle& b, const pki::Certificate& cert);
 
+  /// ed25519_verify, routed through the shared memo when one is attached.
+  bool check_signature(const crypto::EdPublicKey& pub, util::ByteView msg,
+                       const crypto::EdSignature& sig);
+
+  void install_endpoint_callbacks();
+
   static VerifyDigest verify_digest(util::ByteView bundle_signed,
                                     const crypto::EdSignature& bundle_sig,
                                     util::ByteView cert_signed,
@@ -175,12 +198,15 @@ class AdHocManager {
   static sim::DiscoveryInfo to_discovery_info(
       const std::map<pki::UserId, std::uint32_t>& entries);
 
-  sim::Scheduler& sched_;
-  sim::MpcEndpoint& endpoint_;
+  sim::Scheduler* sched_;    // rebindable: see detach()/attach()
+  sim::MpcEndpoint* endpoint_;
   const pki::DeviceCredentials& creds_;
   NodeStats& stats_;
   crypto::Drbg session_rng_;
   std::map<sim::PeerId, Session> sessions_;
+  bool started_ = false;               // advertising+browsing requested
+  sim::DiscoveryInfo advert_info_;     // survives rebinding
+  crypto::VerifyMemo* verify_memo_ = nullptr;
 
   // Verified-bundle cache: id -> digest of (bundle signed bytes, bundle
   // signature, certificate body, certificate signature). LRU-bounded.

@@ -32,8 +32,11 @@ MessageManager::MessageManager(AdHocManager& adhoc, NodeStats& stats,
     // the transfer that just broke: delivering them after the session
     // dropped would hand the routing layer a dead PeerId. An entry whose
     // bundle a still-connected peer also offered in this window is handed
-    // to that peer instead of dropped; the rest are dropped and counted,
-    // and the next encounter's summary/request exchange re-offers them.
+    // to that peer instead; the rest are — adaptive mode — verified and
+    // delivered right now (the bytes arrived intact; only the window had
+    // not elapsed), or — classic mode — dropped and counted, leaving the
+    // next encounter's summary/request exchange to re-offer them.
+    std::vector<PendingBundle> orphaned;
     if (!verify_queue_.empty()) {
       std::size_t kept = 0, dropped = 0;
       for (std::size_t i = 0; i < verify_queue_.size(); ++i) {
@@ -42,7 +45,11 @@ MessageManager::MessageManager(AdHocManager& adhoc, NodeStats& stats,
         alts.erase(std::remove(alts.begin(), alts.end(), peer), alts.end());
         if (p.peer == peer) {
           if (alts.empty()) {
-            ++dropped;
+            if (verify_batch_adaptive_) {
+              orphaned.push_back(std::move(p));
+            } else {
+              ++dropped;
+            }
             continue;
           }
           p.peer = alts.front();
@@ -55,6 +62,7 @@ MessageManager::MessageManager(AdHocManager& adhoc, NodeStats& stats,
       stats_.transfers_interrupted += dropped;
     }
     if (on_session_down) on_session_down(peer);
+    if (!orphaned.empty()) flush_entries(std::move(orphaned));
   };
   adhoc_.on_frame = [this](sim::PeerId peer, FrameType type, util::Bytes payload) {
     handle_frame(peer, type, std::move(payload));
@@ -65,28 +73,47 @@ MessageManager::~MessageManager() {
   // A pending flush holds a raw `this` inside the scheduler; firing after
   // destruction would be use-after-free. The callbacks installed on the
   // ad hoc manager capture `this` too and it may outlive us.
-  if (verify_flush_scheduled_) adhoc_.scheduler().cancel(verify_flush_event_);
+  if (verify_flush_scheduled_ && adhoc_.attached()) {
+    adhoc_.scheduler().cancel(verify_flush_event_);
+  }
   adhoc_.on_peer_advert = nullptr;
   adhoc_.on_secure_session = nullptr;
   adhoc_.on_session_down = nullptr;
   adhoc_.on_frame = nullptr;
 }
 
+void MessageManager::detach() {
+  // The deadline is absolute, so the flush re-arms exactly where it would
+  // have fired: a window that straddles an episode boundary flushes at the
+  // same sim time on the next shard.
+  if (verify_flush_scheduled_) adhoc_.scheduler().cancel(verify_flush_event_);
+}
+
+void MessageManager::attach() {
+  if (verify_flush_scheduled_) {
+    verify_flush_event_ =
+        adhoc_.scheduler().schedule_at(verify_flush_at_, [this] { flush_verify_queue(); });
+  }
+}
+
 void MessageManager::flush_verify_queue() {
   verify_flush_scheduled_ = false;
   std::vector<PendingBundle> queue = std::move(verify_queue_);
   verify_queue_.clear();
+  flush_entries(std::move(queue));
+}
 
+void MessageManager::flush_entries(std::vector<PendingBundle> entries) {
   std::vector<AdHocManager::BundleToVerify> batch;
-  batch.reserve(queue.size());
-  for (const PendingBundle& p : queue) batch.push_back({&p.bundle, &p.cert});
+  batch.reserve(entries.size());
+  for (const PendingBundle& p : entries) batch.push_back({&p.bundle, &p.cert});
   std::vector<bool> ok = adhoc_.verify_bundles(batch);
 
-  for (std::size_t i = 0; i < queue.size(); ++i) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
     if (!ok[i]) continue;
-    remember_certificate(queue[i].cert);
-    if (on_bundle) on_bundle(queue[i].peer, std::move(queue[i].bundle), queue[i].cert,
-                             queue[i].spray_copies);
+    remember_certificate(entries[i].cert);
+    if (on_bundle) on_bundle(entries[i].peer, std::move(entries[i].bundle), entries[i].cert,
+                             entries[i].spray_copies);
   }
 }
 
@@ -182,10 +209,20 @@ void MessageManager::handle_frame(sim::PeerId peer, FrameType type, util::Bytes 
         }
         verify_queue_.push_back(PendingBundle{peer, std::move(*b), std::move(*cert),
                                               f->spray_copies});
+        if (verify_batch_adaptive_ && verify_queue_.size() >= verify_batch_max_queue_) {
+          // Store pressure: the queue holds a full batch — verify it now
+          // rather than buffering the burst for the rest of the window. A
+          // flush already scheduled simply finds a shorter queue later.
+          std::vector<PendingBundle> queue = std::move(verify_queue_);
+          verify_queue_.clear();
+          flush_entries(std::move(queue));
+          return;
+        }
         if (!verify_flush_scheduled_) {
           verify_flush_scheduled_ = true;
-          verify_flush_event_ = adhoc_.scheduler().schedule_in(
-              verify_batch_window_, [this] { flush_verify_queue(); });
+          verify_flush_at_ = adhoc_.scheduler().now() + verify_batch_window_;
+          verify_flush_event_ = adhoc_.scheduler().schedule_at(
+              verify_flush_at_, [this] { flush_verify_queue(); });
         }
         return;
       }

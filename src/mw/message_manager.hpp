@@ -65,6 +65,25 @@ class MessageManager {
   /// 0 (the default) keeps the synchronous per-bundle path.
   void set_verify_batch_window(util::SimTime window) { verify_batch_window_ = window; }
 
+  /// Adaptive flushing for the batch-verify window: a peer's queued entries
+  /// are verified and delivered the moment its session drops (instead of
+  /// dying with the transfer), and the whole queue flushes early under
+  /// store pressure (when it reaches `max_queue` entries). Recovers the
+  /// delivery loss a long window costs in dense cells while keeping the
+  /// batched signature passes.
+  void set_verify_batch_adaptive(bool adaptive, std::size_t max_queue = 256) {
+    verify_batch_adaptive_ = adaptive;
+    verify_batch_max_queue_ = max_queue > 0 ? max_queue : 1;
+  }
+
+  // --- scheduler rebinding (episode-partitioned replay) -------------------
+  /// Release the scheduler binding, remembering the pending flush deadline.
+  /// The ad hoc manager must still be attached when this is called.
+  void detach();
+  /// Re-arm the pending flush (if any) on the newly attached scheduler.
+  /// Call after AdHocManager::attach.
+  void attach();
+
  private:
   void handle_frame(sim::PeerId peer, FrameType type, util::Bytes payload);
   void flush_verify_queue();
@@ -85,10 +104,16 @@ class MessageManager {
   std::map<pki::UserId, pki::Certificate> cert_cache_;
   std::map<sim::PeerId, pki::UserId> session_users_;
   std::map<sim::PeerId, std::set<bundle::BundleId>> sent_this_session_;
+  /// Batch-verify and deliver the given queue entries now.
+  void flush_entries(std::vector<PendingBundle> entries);
+
   std::vector<PendingBundle> verify_queue_;
   bool verify_flush_scheduled_ = false;
-  sim::EventId verify_flush_event_ = 0;  // valid while verify_flush_scheduled_
+  sim::EventId verify_flush_event_ = 0;  // valid while verify_flush_scheduled_ and attached
+  util::SimTime verify_flush_at_ = 0.0;  // absolute deadline of that flush
   util::SimTime verify_batch_window_ = 0.0;
+  bool verify_batch_adaptive_ = false;
+  std::size_t verify_batch_max_queue_ = 256;
 };
 
 }  // namespace sos::mw

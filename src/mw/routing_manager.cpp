@@ -4,7 +4,7 @@ namespace sos::mw {
 
 RoutingManager::RoutingManager(sim::Scheduler& sched, MessageManager& msgs, NodeStats& stats,
                                std::unique_ptr<RoutingScheme> scheme)
-    : sched_(sched), msgs_(msgs), stats_(stats), scheme_(std::move(scheme)) {
+    : sched_(&sched), msgs_(msgs), stats_(stats), scheme_(std::move(scheme)) {
   msgs_.on_peer_advert = [this](sim::PeerId peer,
                                 const std::map<pki::UserId, std::uint32_t>& advert) {
     handle_advert(peer, advert);
@@ -36,12 +36,12 @@ void RoutingManager::unfollow(const pki::UserId& uid) {
 
 RoutingContext RoutingManager::ctx() const {
   return RoutingContext(msgs_.adhoc().credentials().user_id, subscriptions_, msgs_.store(),
-                        sched_.now());
+                        sched_->now());
 }
 
 void RoutingManager::publish(bundle::Bundle b) {
   bundle::BundleId id = b.id();
-  msgs_.store().insert(std::move(b), sched_.now());
+  msgs_.store().insert(std::move(b), sched_->now());
   scheme_->on_published(id);
   ++stats_.published;
   refresh_advertisement();
@@ -52,15 +52,35 @@ void RoutingManager::start(util::SimTime maintenance_interval) {
   refresh_advertisement();
   // A non-positive interval disables the periodic sweep (tests drain the
   // event queue to quiescence and must not see self-rescheduling timers).
-  if (maintenance_interval > 0) {
-    sched_.schedule_in(maintenance_interval,
-                       [this, maintenance_interval] { maintenance_tick(maintenance_interval); });
+  maintenance_interval_ = maintenance_interval;
+  if (maintenance_interval_ > 0) {
+    next_maintenance_at_ = sched_->now() + maintenance_interval_;
+    schedule_maintenance();
   }
 }
 
-void RoutingManager::maintenance_tick(util::SimTime interval) {
-  if (msgs_.store().expire(sched_.now()) > 0) refresh_advertisement();
-  sched_.schedule_in(interval, [this, interval] { maintenance_tick(interval); });
+void RoutingManager::schedule_maintenance() {
+  maintenance_event_ = sched_->schedule_at(next_maintenance_at_, [this] { maintenance_tick(); });
+}
+
+void RoutingManager::maintenance_tick() {
+  if (msgs_.store().expire(sched_->now()) > 0) refresh_advertisement();
+  next_maintenance_at_ = sched_->now() + maintenance_interval_;
+  schedule_maintenance();
+}
+
+void RoutingManager::detach() {
+  if (maintenance_interval_ > 0) sched_->cancel(maintenance_event_);
+  if (push_pending_) sched_->cancel(push_event_);
+  sched_ = nullptr;
+}
+
+void RoutingManager::attach(sim::Scheduler& sched) {
+  sched_ = &sched;
+  // Deadlines are absolute: the timers fire at exactly the sim times they
+  // would have fired on the previous shard.
+  if (maintenance_interval_ > 0) schedule_maintenance();
+  if (push_pending_) schedule_push();
 }
 
 void RoutingManager::refresh_advertisement() {
@@ -86,7 +106,12 @@ void RoutingManager::push_summaries() {
   // per bundle — without this, dense clusters gossip quadratically.
   if (push_pending_) return;
   push_pending_ = true;
-  sched_.schedule_in(push_debounce_s_, [this] {
+  push_at_ = sched_->now() + push_debounce_s_;
+  schedule_push();
+}
+
+void RoutingManager::schedule_push() {
+  push_event_ = sched_->schedule_at(push_at_, [this] {
     push_pending_ = false;
     for (sim::PeerId peer : msgs_.secure_peers()) msgs_.send_summary(peer, build_summary());
   });
@@ -149,7 +174,7 @@ void RoutingManager::handle_bundle(sim::PeerId peer, bundle::Bundle b,
                                    const pki::Certificate& origin_cert,
                                    std::uint32_t spray_copies) {
   (void)peer;
-  if (b.expired(sched_.now())) return;
+  if (b.expired(sched_->now())) return;
   // One D2D hop completed.
   if (b.hop_count < 255) ++b.hop_count;
 
@@ -158,7 +183,7 @@ void RoutingManager::handle_bundle(sim::PeerId peer, bundle::Bundle b,
   bool carry = scheme_->should_carry(ctx(), b) || deliver;
   if (!carry) return;
 
-  bool fresh = msgs_.store().insert(std::move(b), sched_.now());
+  bool fresh = msgs_.store().insert(std::move(b), sched_->now());
   if (!fresh) {
     ++stats_.duplicates_ignored;
     return;

@@ -36,6 +36,13 @@ class RoutingManager {
   /// Kick off periodic maintenance (store expiry + advertisement refresh).
   void start(util::SimTime maintenance_interval = 600.0);
 
+  // --- scheduler rebinding (episode-partitioned replay) -------------------
+  /// Cancel the pending maintenance tick / summary push on the current
+  /// scheduler, remembering their absolute deadlines.
+  void detach();
+  /// Re-arm them at the same deadlines on a new scheduler shard.
+  void attach(sim::Scheduler& sched);
+
   /// Recompute and install the plain-text advertisement.
   void refresh_advertisement();
 
@@ -57,10 +64,12 @@ class RoutingManager {
                      std::uint32_t spray_copies);
   SummaryFrame build_summary();
   void push_summaries();
-  void maintenance_tick(util::SimTime interval);
+  void maintenance_tick();
+  void schedule_maintenance();
+  void schedule_push();
   bool wanted_by_app(const bundle::Bundle& b) const;
 
-  sim::Scheduler& sched_;
+  sim::Scheduler* sched_;  // rebindable: see detach()/attach()
   MessageManager& msgs_;
   NodeStats& stats_;
   std::unique_ptr<RoutingScheme> scheme_;
@@ -68,6 +77,11 @@ class RoutingManager {
   std::map<sim::PeerId, PeerView> peers_;  // secure peers with summaries
   bool push_pending_ = false;              // coalesces summary gossip
   util::SimTime push_debounce_s_ = 1.0;
+  util::SimTime push_at_ = 0.0;            // absolute deadline while pending
+  sim::EventId push_event_ = 0;
+  util::SimTime maintenance_interval_ = 0.0;  // 0 = periodic sweep disabled
+  util::SimTime next_maintenance_at_ = 0.0;   // absolute, while interval > 0
+  sim::EventId maintenance_event_ = 0;
 };
 
 }  // namespace sos::mw

@@ -24,8 +24,8 @@ std::unique_ptr<RoutingScheme> make_scheme(const std::string& name) {
 
 SosNode::SosNode(sim::Scheduler& sched, sim::MpcEndpoint& endpoint, pki::DeviceCredentials creds,
                  SosConfig config)
-    : sched_(sched), creds_(std::move(creds)), config_(std::move(config)) {
-  adhoc_ = std::make_unique<AdHocManager>(sched_, endpoint, creds_, stats_);
+    : sched_(&sched), creds_(std::move(creds)), config_(std::move(config)) {
+  adhoc_ = std::make_unique<AdHocManager>(sched, endpoint, creds_, stats_);
   // The verified-bundle cache only needs to cover what can be re-received,
   // which is bounded by what peers can still be carrying: the store size.
   adhoc_->set_verify_cache_capacity(config_.store_capacity);
@@ -33,9 +33,10 @@ SosNode::SosNode(sim::Scheduler& sched, sim::MpcEndpoint& endpoint, pki::DeviceC
   adhoc_->set_resume_lifetime(config_.resume_lifetime_s);
   msgs_ = std::make_unique<MessageManager>(*adhoc_, stats_, config_.store_capacity);
   msgs_->set_verify_batch_window(config_.verify_batch_window_s);
+  msgs_->set_verify_batch_adaptive(config_.verify_batch_adaptive, config_.verify_batch_max_queue);
   auto scheme = make_scheme(config_.scheme);
   if (!scheme) scheme = std::make_unique<InterestBasedScheme>();
-  routing_ = std::make_unique<RoutingManager>(sched_, *msgs_, stats_, std::move(scheme));
+  routing_ = std::make_unique<RoutingManager>(sched, *msgs_, stats_, std::move(scheme));
   routing_->on_deliver = [this](const bundle::Bundle& b, const pki::Certificate& cert) {
     if (on_data) on_data(b, cert);
   };
@@ -49,6 +50,27 @@ void SosNode::start() {
   routing_->start(config_.maintenance_interval_s);
 }
 
+void SosNode::detach() {
+  // Order matters: the message manager cancels its pending flush through
+  // the ad hoc manager's scheduler, so it must detach first; same for the
+  // routing manager's timers.
+  msgs_->detach();
+  routing_->detach();
+  adhoc_->detach();
+  sched_ = nullptr;
+}
+
+void SosNode::attach(sim::Scheduler& sched, sim::MpcEndpoint& endpoint) {
+  sched_ = &sched;
+  adhoc_->attach(sched, endpoint);
+  msgs_->attach();
+  routing_->attach(sched);
+}
+
+bool SosNode::attached() const {
+  return sched_ != nullptr;
+}
+
 bool SosNode::set_scheme(const std::string& name) {
   auto scheme = make_scheme(name);
   if (!scheme) return false;
@@ -60,7 +82,7 @@ bundle::BundleId SosNode::publish(util::Bytes payload, bundle::ContentType type)
   bundle::Bundle b;
   b.origin = creds_.user_id;
   b.msg_num = next_msg_num_++;
-  b.creation_ts = sched_.now();
+  b.creation_ts = sched_->now();
   b.lifetime_s = config_.bundle_lifetime_s;
   b.content = type;
   b.payload = std::move(payload);
@@ -97,7 +119,7 @@ bundle::BundleId SosNode::send_direct(const pki::Certificate& dest_cert,
   bundle::Bundle b;
   b.origin = creds_.user_id;
   b.msg_num = next_msg_num_++;
-  b.creation_ts = sched_.now();
+  b.creation_ts = sched_->now();
   b.lifetime_s = config_.bundle_lifetime_s;
   b.content = bundle::ContentType::DirectMessage;
   b.dest = dest_cert.subject_id;

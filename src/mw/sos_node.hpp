@@ -24,6 +24,13 @@ struct SosConfig {
   /// > 0: received bundles are queued this many sim-seconds and verified in
   /// one batch signature pass; 0 verifies each bundle synchronously.
   util::SimTime verify_batch_window_s = 0.0;
+  /// With a window > 0: flush a peer's queued entries the moment its
+  /// session drops (instead of letting them die with the transfer) and
+  /// flush the whole queue when it reaches verify_batch_max_queue entries.
+  /// Keeps the batched signature passes without the delivery loss a long
+  /// window costs in dense cells.
+  bool verify_batch_adaptive = false;
+  std::size_t verify_batch_max_queue = 256;
   /// > 0: cache a resumption secret per peer after each full handshake and
   /// re-establish later contacts with a 1-RTT HMAC-proof resume — zero
   /// X25519 operations and no certificate exchange on recurring contacts.
@@ -41,6 +48,23 @@ class SosNode {
 
   /// Begin advertising/browsing and periodic maintenance.
   void start();
+
+  // --- scheduler/network rebinding (episode-partitioned replay) -----------
+  /// Release the node from its scheduler and endpoint. Every piece of
+  /// middleware state survives — bundle store, sessions/resumption cache,
+  /// routing tables, stats, pending timer deadlines — only the binding to
+  /// the simulation substrate is dropped. Call at a quiescent point (no
+  /// live sessions, no in-flight frames): episode boundaries by
+  /// construction.
+  void detach();
+  /// Rebind to a new scheduler shard and endpoint; pending timers re-arm at
+  /// their original absolute deadlines.
+  void attach(sim::Scheduler& sched, sim::MpcEndpoint& endpoint);
+  bool attached() const;
+
+  /// Share a replay-wide memo of signature verdicts (see
+  /// crypto::VerifyMemo); per-node counters are unaffected.
+  void set_verify_memo(crypto::VerifyMemo* memo) { adhoc_->set_verify_memo(memo); }
 
   // --- application API ------------------------------------------------------
   /// Publish a signed social post; returns its (origin, msg_num) id.
@@ -86,7 +110,7 @@ class SosNode {
   RoutingManager& routing() { return *routing_; }
 
  private:
-  sim::Scheduler& sched_;
+  sim::Scheduler* sched_;  // rebindable: see detach()/attach()
   pki::DeviceCredentials creds_;
   SosConfig config_;
   NodeStats stats_;

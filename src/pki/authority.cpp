@@ -66,9 +66,10 @@ void TrustStore::add_revoked(std::uint64_t serial) {
   crl_.insert(serial);
 }
 
-VerifyResult TrustStore::verify(const Certificate& cert, util::SimTime now) const {
+VerifyResult TrustStore::verify(const Certificate& cert, util::SimTime now,
+                                crypto::VerifyMemo* memo) const {
   if (!has_root_ || cert.issuer_name != issuer_name_) return VerifyResult::UnknownIssuer;
-  if (!verify_signature(cert)) return VerifyResult::BadSignature;
+  if (!verify_signature(cert, memo)) return VerifyResult::BadSignature;
   if (now < cert.not_before) return VerifyResult::NotYetValid;
   if (now > cert.not_after) return VerifyResult::Expired;
   if (crl_.count(cert.serial) > 0) return VerifyResult::Revoked;
@@ -83,8 +84,10 @@ VerifyResult TrustStore::verify_policy(const Certificate& cert, util::SimTime no
   return VerifyResult::Ok;
 }
 
-bool TrustStore::verify_signature(const Certificate& cert) const {
-  return crypto::ed25519_verify(root_key_, cert.signing_bytes(), cert.signature);
+bool TrustStore::verify_signature(const Certificate& cert, crypto::VerifyMemo* memo) const {
+  util::Bytes body = cert.signing_bytes();
+  if (memo) return memo->verify(root_key_, body, cert.signature);
+  return crypto::ed25519_verify(root_key_, body, cert.signature);
 }
 
 VerifyResult TrustStore::verify_identity(const Certificate& cert, const UserId& expected,

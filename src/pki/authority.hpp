@@ -10,6 +10,7 @@
 #include <string>
 
 #include "crypto/ed25519.hpp"
+#include "crypto/verify_memo.hpp"
 #include "pki/certificate.hpp"
 
 namespace sos::pki {
@@ -67,8 +68,11 @@ class TrustStore {
   void add_revoked(std::uint64_t serial);
 
   /// Full chain decision: issuer known, signature valid, within validity
-  /// window, not revoked.
-  VerifyResult verify(const Certificate& cert, util::SimTime now) const;
+  /// window, not revoked. `memo`, when non-null, memoizes the signature
+  /// half across calls (replay engines share one memo between all nodes —
+  /// the verdict is a pure function of root key, body, and signature).
+  VerifyResult verify(const Certificate& cert, util::SimTime now,
+                      crypto::VerifyMemo* memo = nullptr) const;
 
   /// The cheap, time-dependent half of verify(): issuer known, within
   /// validity window, not revoked — no signature check. Callers that cache
@@ -77,7 +81,7 @@ class TrustStore {
   VerifyResult verify_policy(const Certificate& cert, util::SimTime now) const;
 
   /// The expensive half: the root's signature over the certificate body.
-  bool verify_signature(const Certificate& cert) const;
+  bool verify_signature(const Certificate& cert, crypto::VerifyMemo* memo = nullptr) const;
 
   /// Pinned root key (for batch signature verification).
   const crypto::EdPublicKey& root_key() const { return root_key_; }

@@ -1,0 +1,223 @@
+#include "sim/episode.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace sos::sim {
+
+namespace {
+
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    // Deterministic representative: the smaller index wins.
+    if (b < a) std::swap(a, b);
+    parent[b] = a;
+    return true;
+  }
+};
+
+}  // namespace
+
+EpisodeGraph EpisodeGraph::partition(const ContactTrace& trace, std::size_t node_count,
+                                     util::SimTime horizon) {
+  const auto& contacts = trace.contacts();
+  const std::size_t n = contacts.size();
+  UnionFind uf(n);
+
+  // --- step 1: fuse contacts that share a node and overlap in time --------
+  // Sweep in start order; per node, keep the contacts still open at the
+  // sweep point. Touching intervals (c2.start == c1.end) fuse too: their
+  // events land on the same timestamp and must stay on one scheduler.
+  {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return contacts[a].start < contacts[b].start;
+    });
+    std::map<std::uint32_t, std::vector<std::size_t>> open;
+    for (std::size_t i : order) {
+      const ContactInterval& c = contacts[i];
+      for (std::uint32_t node : {c.a, c.b}) {
+        auto& v = open[node];
+        v.erase(std::remove_if(v.begin(), v.end(),
+                               [&](std::size_t j) { return contacts[j].end < c.start; }),
+                v.end());
+        for (std::size_t j : v) uf.unite(i, j);
+        v.push_back(i);
+      }
+    }
+  }
+
+  // --- step 2: fuse a node's clusters with overlapping windows ------------
+  // A node's window in a cluster runs to the cluster's *global* end (its
+  // local timers advance with the episode scheduler), so a later cluster
+  // whose first contact of that node starts inside an earlier cluster's
+  // span cannot be detached from it. Fusing grows spans, so iterate to a
+  // fixpoint; each round strictly reduces the cluster count.
+  struct Span {
+    util::SimTime start, end;
+    std::size_t first_index;
+  };
+  for (bool changed = true; changed;) {
+    changed = false;
+    std::map<std::size_t, Span> spans;  // root -> cluster span
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t r = uf.find(i);
+      auto [it, fresh] = spans.try_emplace(r, Span{contacts[i].start, contacts[i].end, i});
+      if (!fresh) {
+        it->second.start = std::min(it->second.start, contacts[i].start);
+        it->second.end = std::max(it->second.end, contacts[i].end);
+      }
+    }
+    // node -> root -> earliest start of that node's contacts in the cluster
+    std::map<std::uint32_t, std::map<std::size_t, util::SimTime>> per_node;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t r = uf.find(i);
+      for (std::uint32_t node : {contacts[i].a, contacts[i].b}) {
+        auto [it, fresh] = per_node[node].try_emplace(r, contacts[i].start);
+        if (!fresh) it->second = std::min(it->second, contacts[i].start);
+      }
+    }
+    for (auto& [node, clusters] : per_node) {
+      // The node's clusters in window order: by its first contact in each.
+      std::vector<std::pair<util::SimTime, std::size_t>> entries;
+      for (auto& [root, first_start] : clusters) entries.push_back({first_start, root});
+      std::sort(entries.begin(), entries.end());
+      util::SimTime covered_to = -1.0;
+      std::size_t covered_root = 0;
+      for (auto& [first_start, root] : entries) {
+        if (covered_to >= 0 && first_start < covered_to && uf.find(root) != uf.find(covered_root)) {
+          uf.unite(covered_root, root);
+          changed = true;
+        }
+        if (spans.at(root).end > covered_to) {
+          covered_to = spans.at(root).end;
+          covered_root = root;
+        }
+      }
+    }
+  }
+
+  // --- materialize episodes in trace order --------------------------------
+  EpisodeGraph graph;
+  std::map<std::size_t, std::size_t> root_to_episode;  // ordered by min index
+  for (std::size_t i = 0; i < n; ++i) root_to_episode.try_emplace(uf.find(i), 0);
+  {
+    std::size_t next = 0;
+    for (auto& [root, idx] : root_to_episode) idx = next++;
+  }
+  graph.episodes_.resize(root_to_episode.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    Episode& e = graph.episodes_[root_to_episode.at(uf.find(i))];
+    const ContactInterval& c = contacts[i];
+    if (e.contacts.empty()) {
+      e.first_start = c.start;
+      e.last_end = c.end;
+    } else {
+      e.first_start = std::min(e.first_start, c.start);
+      e.last_end = std::max(e.last_end, c.end);
+    }
+    e.contacts.push_back(i);
+    e.nodes.push_back(c.a);
+    e.nodes.push_back(c.b);
+  }
+  for (Episode& e : graph.episodes_) {
+    std::sort(e.nodes.begin(), e.nodes.end());
+    e.nodes.erase(std::unique(e.nodes.begin(), e.nodes.end()), e.nodes.end());
+  }
+  graph.contact_episodes_ = graph.episodes_.size();
+
+  // --- dependency edges: consecutive episodes of each node ----------------
+  std::map<std::uint32_t, std::vector<std::size_t>> node_chain;  // in window order
+  for (std::size_t ei = 0; ei < graph.episodes_.size(); ++ei) {
+    for (std::uint32_t node : graph.episodes_[ei].nodes) node_chain[node].push_back(ei);
+  }
+  // (node, episode) -> earliest start of that node's contacts there.
+  std::map<std::pair<std::uint32_t, std::size_t>, util::SimTime> node_first;
+  for (std::size_t ei = 0; ei < graph.episodes_.size(); ++ei) {
+    for (std::size_t ci : graph.episodes_[ei].contacts) {
+      const ContactInterval& c = contacts[ci];
+      for (std::uint32_t node : {c.a, c.b}) {
+        auto [it, fresh] = node_first.try_emplace({node, ei}, c.start);
+        if (!fresh) it->second = std::min(it->second, c.start);
+      }
+    }
+  }
+  std::vector<std::size_t> last_of_node(node_count, SIZE_MAX);
+  for (auto& [node, chain] : node_chain) {
+    // Order the node's episodes by its first contact start in each; the
+    // step-2 fixpoint guarantees these windows are disjoint.
+    std::uint32_t nd = node;
+    std::sort(chain.begin(), chain.end(), [&](std::size_t a, std::size_t b) {
+      return node_first.at({nd, a}) < node_first.at({nd, b});
+    });
+    for (std::size_t i = 1; i < chain.size(); ++i)
+      graph.episodes_[chain[i]].deps.push_back(chain[i - 1]);
+    if (node < node_count && !chain.empty()) last_of_node[node] = chain.back();
+  }
+  for (Episode& e : graph.episodes_) {
+    std::sort(e.deps.begin(), e.deps.end());
+    e.deps.erase(std::unique(e.deps.begin(), e.deps.end()), e.deps.end());
+  }
+
+  // --- tail episode: every node's timeline from its last contact to the
+  // horizon. Contact-free, so its members cannot interact: one shared
+  // scheduler suffices for all of them.
+  Episode tail;
+  tail.first_start = 0;
+  tail.last_end = horizon;
+  for (std::uint32_t node = 0; node < node_count; ++node) {
+    tail.nodes.push_back(node);
+    if (last_of_node[node] != SIZE_MAX) tail.deps.push_back(last_of_node[node]);
+  }
+  std::sort(tail.deps.begin(), tail.deps.end());
+  tail.deps.erase(std::unique(tail.deps.begin(), tail.deps.end()), tail.deps.end());
+  if (!tail.nodes.empty()) graph.episodes_.push_back(std::move(tail));
+  return graph;
+}
+
+double EpisodeGraph::parallelism() const {
+  double total = 0, critical = 0;
+  std::vector<double> longest(episodes_.size(), 0);
+  // Episode deps always point to earlier... not necessarily earlier
+  // indices; process in an order where deps resolve first (Kahn by index).
+  std::vector<std::size_t> pending(episodes_.size(), 0);
+  std::vector<std::vector<std::size_t>> dependents(episodes_.size());
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < episodes_.size(); ++i) {
+    pending[i] = episodes_[i].deps.size();
+    for (std::size_t d : episodes_[i].deps) dependents[d].push_back(i);
+    if (pending[i] == 0) ready.push_back(i);
+  }
+  while (!ready.empty()) {
+    std::size_t i = ready.back();
+    ready.pop_back();
+    double w = static_cast<double>(episodes_[i].contacts.size());
+    double best = 0;
+    for (std::size_t d : episodes_[i].deps) best = std::max(best, longest[d]);
+    longest[i] = best + w;
+    total += w;
+    critical = std::max(critical, longest[i]);
+    for (std::size_t dep : dependents[i]) {
+      if (--pending[dep] == 0) ready.push_back(dep);
+    }
+  }
+  return critical > 0 ? total / critical : 1.0;
+}
+
+}  // namespace sos::sim

@@ -1,0 +1,70 @@
+// EpisodeGraph: the analysis pass behind episode-partitioned replay. A
+// recorded ContactTrace fixes every opportunity for state to move between
+// nodes before replay begins, so the trace can be cut into "episodes" —
+// groups of contacts whose nodes are causally independent of every other
+// concurrent group — and each episode replayed on its own scheduler shard.
+//
+// Construction is conservative, never speculative:
+//
+//   1. Contacts that share a node and overlap in time are fused (their
+//      events interleave on the shared node and cannot be split).
+//   2. Clusters of the same node whose time spans overlap are fused too:
+//      a node must never be attached to two schedulers over the same
+//      interval, so its episode windows must tile its timeline.
+//   3. What remains is a DAG: episode B depends on episode A when they
+//      share a node whose A-window precedes its B-window (the node's
+//      middleware state — store, sessions, resume cache, routing tables —
+//      is handed from A to B through the detach/attach seam).
+//
+// One trailing "tail" episode (no contacts) covers every node's timeline
+// from its last contact to the horizon so local timers and workload events
+// after the final encounter still run. Episodes are indexed in trace order,
+// which is a topological order of the DAG (an episode's contacts all end
+// before any dependent episode's contacts begin).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace sos::sim {
+
+struct Episode {
+  /// Member nodes, ascending. Every node appears in exactly one episode
+  /// per "chain step"; the union over a node's episodes tiles [0, horizon].
+  std::vector<std::uint32_t> nodes;
+  /// Indices into the source trace's contacts(), ascending (= trace order).
+  /// Empty for the tail episode.
+  std::vector<std::size_t> contacts;
+  /// Earliest contact start / latest contact end. For the tail episode:
+  /// 0 and the horizon (the engine derives each member's actual resume
+  /// point from its previous episode, not from this field).
+  util::SimTime first_start = 0;
+  util::SimTime last_end = 0;
+  /// Episodes that must finish before this one may run (state handoff).
+  std::vector<std::size_t> deps;
+};
+
+class EpisodeGraph {
+ public:
+  /// Partition `trace` over `node_count` nodes and a [0, horizon] timeline.
+  /// Deterministic: depends only on the arguments, never on thread count.
+  static EpisodeGraph partition(const ContactTrace& trace, std::size_t node_count,
+                                util::SimTime horizon);
+
+  const std::vector<Episode>& episodes() const { return episodes_; }
+  /// Episodes carrying contacts (the tail, when present, is the last one).
+  std::size_t contact_episode_count() const { return contact_episodes_; }
+
+  /// Sum over the longest dependency chain of per-episode contact counts,
+  /// divided into the total: the parallel speedup ceiling this trace admits
+  /// under conservative partitioning (1.0 = fully sequential).
+  double parallelism() const;
+
+ private:
+  std::vector<Episode> episodes_;
+  std::size_t contact_episodes_ = 0;
+};
+
+}  // namespace sos::sim

@@ -149,6 +149,7 @@ void MpcNetwork::do_invite(PeerId from, PeerId to) {
     l.connected = true;
     ++l.generation;
     l.busy_until = sched_.now();
+    l.in_flight = 0;  // anything older was counted lost when the session dropped
     ++connections_;
     if (endpoints_[from].on_connected) endpoints_[from].on_connected(to);
     if (endpoints_[to].on_connected) endpoints_[to].on_connected(from);
@@ -173,11 +174,12 @@ void MpcNetwork::do_send(PeerId from, PeerId to, util::Bytes frame) {
   std::uint64_t generation = l.generation;
   sched_.schedule_at(deliver_at, [this, from, to, generation, frame = std::move(frame)] {
     Link& cur = link(from, to);
+    // A stale generation means the session died mid-transfer; the loss was
+    // already counted (and in_flight zeroed) when the session dropped, so a
+    // stale delivery is a pure no-op. That property lets an episode shard be
+    // torn down at its last contact end without draining doomed deliveries.
+    if (!cur.connected || cur.generation != generation) return;
     --cur.in_flight;
-    if (!cur.connected || cur.generation != generation) {
-      ++frames_lost_;  // session died mid-transfer
-      return;
-    }
     ++frames_delivered_;
     MpcEndpoint& dst = endpoints_[to];
     if (dst.on_receive) dst.on_receive(from, frame);
@@ -189,6 +191,11 @@ void MpcNetwork::drop_session(PeerId a, PeerId b, bool notify) {
   if (it == links_.end() || !it->second.connected) return;
   it->second.connected = false;
   ++it->second.generation;  // invalidates in-flight frames
+  // Frames on the air die with the session; count them now rather than when
+  // their (now inert) delivery events fire, so the totals are identical
+  // whether those events ever run.
+  frames_lost_ += it->second.in_flight;
+  it->second.in_flight = 0;
   it->second.busy_until = sched_.now();
   if (notify) {
     if (endpoints_[a].on_disconnected) {

@@ -103,6 +103,12 @@ class MpcNetwork {
   std::uint64_t frames_lost() const { return frames_lost_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t connections_established() const { return connections_; }
+  /// NOTE: unlike every counter above, this one is NOT identical between
+  /// the single-scheduler and episode-partitioned replay engines: a setup
+  /// completion scheduled within setup_time_s of an episode's last contact
+  /// end is discarded with the shard (it could only have counted a
+  /// failure — the contact is over). Keep it out of merged ScenarioResults
+  /// unless that straggler accounting is made drop-time exact first.
   std::uint64_t connections_failed() const { return failed_connections_; }
 
  private:

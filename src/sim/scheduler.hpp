@@ -1,6 +1,15 @@
 // Discrete-event scheduler: the virtual clock every simulated component
 // (mobility stepper, radio links, middleware timers) hangs off. Events at
-// equal timestamps run in schedule order, which keeps runs deterministic.
+// equal timestamps run in schedule order (FIFO by EventId), which keeps
+// runs deterministic — the invariant every sweep- and replay-determinism
+// guarantee in this repo rests on.
+//
+// A run no longer implies a single scheduler for its whole lifetime: the
+// episode-partitioned replay engine (sim/episode.hpp, deploy/ replay path)
+// runs each causally-independent episode on its own scheduler shard,
+// constructed at the episode's start time, and carries per-node middleware
+// state across shards through the SosNode detach/attach seam. Shards are
+// plain Schedulers — no locking; one thread drives one shard at a time.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +27,10 @@ using EventFn = std::function<void()>;
 
 class Scheduler {
  public:
+  Scheduler() = default;
+  /// Start the clock at `start` (an episode shard beginning mid-timeline).
+  explicit Scheduler(util::SimTime start) : now_(start) {}
+
   util::SimTime now() const { return now_; }
 
   /// Schedule `fn` at absolute time t (clamped to now if in the past).

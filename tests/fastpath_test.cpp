@@ -535,6 +535,71 @@ TEST(VerifyWindow, DestroyingManagerCancelsScheduledFlush) {
   EXPECT_EQ(sched.cancelled_backlog(), 0u);
 }
 
+TEST(VerifyWindow, AdaptiveFlushDeliversOnSessionDrop) {
+  // The adaptive window closes the classic window's failure mode: entries
+  // whose session drops mid-window are verified and delivered on the spot
+  // (the bytes arrived intact) instead of dying with the transfer.
+  ss::Scheduler sched;
+  sp::BootstrapService infra{su::to_bytes("adrop-infra")};
+  ss::MpcNetwork net(sched, 2);
+  sm::SosConfig config;
+  config.maintenance_interval_s = 0;
+  config.verify_batch_window_s = 30.0;  // long window: the cut wins the race
+  config.verify_batch_adaptive = true;
+  sc::Drbg d0(su::to_bytes("ad-0")), d1(su::to_bytes("ad-1"));
+  sm::SosNode alice(sched, net.endpoint(0), *infra.signup("ad-alice", d0, 0), config);
+  sm::SosNode bob(sched, net.endpoint(1), *infra.signup("ad-bob", d1, 0), config);
+  alice.start();
+  bob.start();
+  bob.follow(alice.user_id());
+  for (int i = 1; i <= 3; ++i) alice.publish(su::to_bytes("post " + std::to_string(i)));
+
+  net.set_in_range(0, 1, true);
+  sched.run_until(sched.now() + 10.0);
+  ASSERT_EQ(bob.stats().bundles_received, 3u);  // queued, not yet verified
+  ASSERT_EQ(bob.stats().deliveries, 0u);
+  net.set_in_range(0, 1, false);  // session drops with the window open
+  sched.run_all();
+  EXPECT_EQ(bob.stats().deliveries, 3u);               // flushed, not dropped
+  EXPECT_EQ(bob.stats().transfers_interrupted, 0u);    // nothing lost
+  EXPECT_GE(bob.stats().bundle_batch_verifies, 1u);    // still one batch pass
+
+  // The next encounter has nothing left to recover.
+  net.set_in_range(0, 1, true);
+  sched.run_all();
+  EXPECT_EQ(bob.stats().deliveries, 3u);
+}
+
+TEST(VerifyWindow, AdaptiveStorePressureFlushesEarly) {
+  // A full queue flushes immediately instead of buffering the burst for
+  // the rest of the window.
+  ss::Scheduler sched;
+  sp::BootstrapService infra{su::to_bytes("press-infra")};
+  ss::MpcNetwork net(sched, 2);
+  sm::SosConfig config;
+  config.maintenance_interval_s = 0;
+  config.verify_batch_window_s = 30.0;
+  config.verify_batch_adaptive = true;
+  config.verify_batch_max_queue = 2;
+  sc::Drbg d0(su::to_bytes("pr-0")), d1(su::to_bytes("pr-1"));
+  sm::SosNode alice(sched, net.endpoint(0), *infra.signup("pr-alice", d0, 0), config);
+  sm::SosNode bob(sched, net.endpoint(1), *infra.signup("pr-bob", d1, 0), config);
+  alice.start();
+  bob.start();
+  bob.follow(alice.user_id());
+  for (int i = 1; i <= 5; ++i) alice.publish(su::to_bytes("post " + std::to_string(i)));
+
+  net.set_in_range(0, 1, true);
+  sched.run_until(sched.now() + 10.0);  // window still open for 20+ s
+  // 5 arrivals, queue cap 2: two pressure flushes deliver 4; the 5th waits
+  // for the scheduled window flush.
+  EXPECT_EQ(bob.stats().bundles_received, 5u);
+  EXPECT_EQ(bob.stats().deliveries, 4u);
+  EXPECT_GE(bob.stats().bundle_batch_verifies, 2u);
+  sched.run_all();
+  EXPECT_EQ(bob.stats().deliveries, 5u);
+}
+
 // --- bundle store eviction index ---------------------------------------------
 
 TEST(StoreEviction, RandomizedDropHeadMatchesCreationOrder) {
