@@ -29,13 +29,13 @@ void density_row(deploy::Table& t, std::size_t row, const deploy::CellResult& r)
                             ? 0.0
                             : static_cast<double>(r.result.totals.sessions_resumed) /
                                   static_cast<double>(r.result.totals.sessions_established);
-  t.set_row(row, {std::to_string(r.config.nodes), deploy::fmt(area_km2, 1),
+  t.set_row(row, {r.label, std::to_string(r.config.nodes), deploy::fmt(area_km2, 1),
                   deploy::fmt(density, 2), std::to_string(r.result.contacts),
                   std::to_string(oracle.delivery_count()),
                   deploy::fmt(oracle.overall_delivery_ratio(), 3),
                   delays.empty() ? "-" : util::format_duration(delays.quantile(0.5)),
                   deploy::fmt(oracle.one_hop_fraction(), 3), deploy::fmt(resume_share, 2),
-                  deploy::fmt(r.wall_s, 2)});
+                  deploy::fmt(r.episode_parallelism, 2), deploy::fmt(r.wall_s, 2)});
 }
 }  // namespace
 
@@ -60,8 +60,9 @@ int main(int argc, char** argv) {
   double sweep_wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
 
-  deploy::Table t({"nodes", "area km^2", "nodes/km^2", "encounters", "deliveries",
-                   "delivery ratio", "median delay", "1-hop share", "resumed", "cell s"});
+  deploy::Table t({"cell", "nodes", "area km^2", "nodes/km^2", "encounters", "deliveries",
+                   "delivery ratio", "median delay", "1-hop share", "resumed",
+                   "parallelism", "cell s"});
   for (const auto& r : results) density_row(t, r.cell, r);
   t.print();
   std::printf("sweep wall-clock: %.2f s (%zu cells, %zu worker(s), trace replay %s)\n",

@@ -15,7 +15,11 @@
 # With --check, no benches run: the script configures a TSan build
 # (-DSOS_SANITIZE=thread) in <build-dir>-tsan and runs the `sweep`-labelled
 # determinism tests under it, so data races in the sharded replay engine
-# fail loudly:
+# fail loudly. It refuses to report "clean" unless the suite binaries are
+# actually TSan-instrumented (stale cache / toolchain dropping the flag),
+# and additionally re-runs the randomized multi-community harness with
+# SOS_EPISODE_JOBS=4 so the episode worker pool is exercised at a fixed
+# width:
 #   scripts/run_benches.sh --check build
 set -euo pipefail
 
@@ -40,9 +44,27 @@ if [[ $check -eq 1 ]]; then
   tsan_dir="${build_dir%/}-tsan"
   echo "== TSan check: configuring $tsan_dir =="
   cmake -B "$tsan_dir" -S "$repo_root" -DSOS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  # A --check run that silently built without sanitizers would bless racy
+  # code: verify the cache kept the flag...
+  if ! grep -q '^SOS_SANITIZE:STRING=thread$' "$tsan_dir/CMakeCache.txt"; then
+    echo "error: $tsan_dir was configured without SOS_SANITIZE=thread; refusing --check" >&2
+    exit 1
+  fi
   cmake --build "$tsan_dir" -j "$(nproc)" --target sweep_test episode_test
+  # ...and that the suite binaries are actually instrumented.
+  for bin in sweep_test episode_test; do
+    # Plain grep (not -q): under pipefail, -q would SIGPIPE nm on the first
+    # match and fail the healthy case.
+    if ! nm "$tsan_dir/$bin" 2>/dev/null | grep '__tsan' > /dev/null; then
+      echo "error: $tsan_dir/$bin is not TSan-instrumented; refusing --check" >&2
+      exit 1
+    fi
+  done
   echo "== TSan check: ctest -L sweep =="
   ctest --test-dir "$tsan_dir" -L sweep --output-on-failure
+  echo "== TSan check: randomized multi-community harness, SOS_EPISODE_JOBS=4 =="
+  SOS_EPISODE_JOBS=4 "$tsan_dir/episode_test" \
+    --gtest_filter='RandomizedDeterminism.*'
   echo "TSan sweep suite clean"
   exit 0
 fi

@@ -6,6 +6,9 @@
 
 namespace sos::crypto {
 
+VerifyMemo::VerifyMemo(std::size_t max_entries)
+    : per_shard_cap_(max_entries / kShards > 0 ? max_entries / kShards : 1) {}
+
 VerifyMemo::Key VerifyMemo::key_of(const EdPublicKey& pub, util::ByteView msg,
                                    const EdSignature& sig) {
   // pub and sig are fixed-size, so the concatenation is unambiguous.
@@ -28,7 +31,7 @@ bool VerifyMemo::verify(const EdPublicKey& pub, util::ByteView msg, const EdSign
   // so two threads racing on the same key store the same value.
   bool ok = ed25519_verify(pub, msg, sig);
   std::lock_guard<std::mutex> lock(s.mu);
-  if (s.verdicts.size() < kMaxEntriesPerShard) s.verdicts.emplace(key, ok);
+  if (s.verdicts.size() < per_shard_cap_) s.verdicts.emplace(key, ok);
   return ok;
 }
 
@@ -43,7 +46,7 @@ std::optional<bool> VerifyMemo::lookup(const Key& key) const {
 void VerifyMemo::store(const Key& key, bool ok) {
   Shard& s = shard(key);
   std::lock_guard<std::mutex> lock(s.mu);
-  if (s.verdicts.size() < kMaxEntriesPerShard) s.verdicts.insert_or_assign(key, ok);
+  if (s.verdicts.size() < per_shard_cap_) s.verdicts.insert_or_assign(key, ok);
 }
 
 std::size_t VerifyMemo::size() const {

@@ -23,7 +23,12 @@ namespace sos::crypto {
 
 class VerifyMemo {
  public:
-  VerifyMemo() = default;
+  /// `max_entries` bounds how many verdicts the memo will hold in total
+  /// (rounded down to a per-shard quota, at least one per shard): past the
+  /// bound new verdicts are computed but not stored, so a memo scoped to a
+  /// whole sweep cell can never grow unbounded. The default comfortably
+  /// covers every distinct signature a multi-variant cell produces.
+  explicit VerifyMemo(std::size_t max_entries = kShards * kDefaultShardCap);
   VerifyMemo(const VerifyMemo&) = delete;
   VerifyMemo& operator=(const VerifyMemo&) = delete;
 
@@ -42,6 +47,8 @@ class VerifyMemo {
   void store(const Key& key, bool ok);
 
   std::size_t size() const;
+  /// Total verdicts this memo will store before it stops inserting.
+  std::size_t capacity() const { return per_shard_cap_ * kShards; }
 
  private:
   struct KeyHash {
@@ -59,10 +66,11 @@ class VerifyMemo {
   Shard& shard(const Key& k) { return shards_[k[31] & (kShards - 1)]; }
   const Shard& shard(const Key& k) const { return shards_[k[31] & (kShards - 1)]; }
 
-  // A replay holds a few thousand distinct signatures; past this bound the
+  // A replay holds a few thousand distinct signatures; past the bound the
   // memo stops inserting (reads keep working) rather than grow unbounded.
-  static constexpr std::size_t kMaxEntriesPerShard = 1 << 18;
+  static constexpr std::size_t kDefaultShardCap = 1 << 18;
   static constexpr std::size_t kShards = 16;  // power of two
+  std::size_t per_shard_cap_ = kDefaultShardCap;
   Shard shards_[kShards];
 };
 

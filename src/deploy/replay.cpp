@@ -151,10 +151,14 @@ ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
   // attaches its members to its own shard.
   sim::Scheduler staging;
   sim::MpcNetwork staging_net(staging, config.nodes, config.radio);
-  crypto::VerifyMemo verify_memo;  // shared across nodes AND episode workers
+  // Shared across nodes AND episode workers; a caller-owned memo
+  // (replay.memo, the sweep-wide scope) takes precedence over the run-local
+  // one so a cell's variants collapse their cross-variant re-verifies too.
+  crypto::VerifyMemo run_memo;
+  crypto::VerifyMemo* verify_memo = replay.memo != nullptr ? replay.memo : &run_memo;
   detail::Fleet fleet;
   detail::build_fleet(fleet, config, staging, staging_net,
-                      replay.share_verify_memo ? &verify_memo : nullptr);
+                      replay.share_verify_memo ? verify_memo : nullptr);
   auto& nodes = fleet.nodes;
   auto& apps = fleet.apps;
 

@@ -56,6 +56,8 @@ std::unique_ptr<sim::TrajectoryMobility> build_mobility(const ScenarioConfig& co
                                                         util::Rng& rng) {
   sim::DailyRoutineParams mobility_params = config.mobility;
   mobility_params.area = {config.area_w_m, config.area_h_m};
+  mobility_params.community_count = config.communities;
+  mobility_params.bridge_node_frac = config.bridge_node_frac;
   util::Rng mobility_rng = rng.fork();
   return sim::daily_routine(config.nodes, util::days(config.days), mobility_params,
                             mobility_rng);
@@ -215,12 +217,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* w
   // Replay runs share one memo of signature verdicts across all nodes: the
   // verdict is a pure function of (key, message, signature), so each
   // distinct triple pays the curve math once per run instead of once per
-  // carrying node. Counters and metrics are unchanged.
-  std::optional<crypto::VerifyMemo> verify_memo;
-  if (world != nullptr && replay.share_verify_memo) verify_memo.emplace();
+  // carrying node. Counters and metrics are unchanged. A caller-owned memo
+  // (replay.memo) widens the scope to every variant of a sweep cell.
+  std::optional<crypto::VerifyMemo> local_memo;
+  crypto::VerifyMemo* verify_memo = nullptr;
+  if (world != nullptr && replay.share_verify_memo) {
+    verify_memo = replay.memo != nullptr ? replay.memo : &local_memo.emplace();
+  }
 
   detail::Fleet fleet;
-  detail::build_fleet(fleet, config, sched, net, verify_memo ? &*verify_memo : nullptr);
+  detail::build_fleet(fleet, config, sched, net, verify_memo);
   auto& nodes = fleet.nodes;
   auto& apps = fleet.apps;
 

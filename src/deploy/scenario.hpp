@@ -16,6 +16,10 @@
 #include "sim/radio.hpp"
 #include "sim/trace.hpp"
 
+namespace sos::crypto {
+class VerifyMemo;
+}
+
 namespace sos::deploy {
 
 struct ScenarioConfig {
@@ -30,6 +34,16 @@ struct ScenarioConfig {
   sim::RadioParams radio{};            // 50 m range, p2p-WiFi-class link
   sim::DailyRoutineParams mobility{};  // homes + campus hotspots + sleep
   double encounter_tick_s = 30.0;
+
+  /// First-class community sweep dimensions (copied into `mobility` by the
+  /// world recorder, like `area_*`): >= 2 tiles the area into that many
+  /// disjoint mobility communities — separate hotspot pools and home
+  /// clusters — and `bridge_node_frac` of the nodes commute between them
+  /// across days. 1 is the classic single-hotspot-pool city. Community
+  /// traces decompose into parallel episodes (sim::EpisodeGraph), which is
+  /// what makes --episode-jobs effective on them.
+  std::size_t communities = 1;
+  double bridge_node_frac = 0.0;
 
   /// Session-resumption secret lifetime handed to each node's SosConfig
   /// (0 = every contact pays the full cert-exchange + X25519 handshake).
@@ -72,7 +86,7 @@ struct ScenarioResult {
 /// The deterministic "world" of a scenario — the mobility trajectories and
 /// the contact trace the encounter detector produces over them. Everything
 /// in it depends only on the world-shaping config fields (nodes, area, days,
-/// mobility, radio, encounter tick) and the seed, never on the routing
+/// mobility, communities, radio, encounter tick) and the seed, never on the routing
 /// scheme or middleware knobs, so scheme variants of one sweep cell can
 /// record it once and replay it instead of re-running detection.
 struct ScenarioWorld {
@@ -104,6 +118,13 @@ struct ReplayOptions {
   /// per run instead of once per carrying node. Pure-function memoization —
   /// per-node counters and all metrics are unchanged.
   bool share_verify_memo = true;
+  /// Optional externally owned memo (sweep-wide scope): when set (and
+  /// share_verify_memo is on), the replay consults/extends this memo
+  /// instead of a run-local one. SweepRunner hands every variant of a cell
+  /// the same memo — one recorded world produces identical bundles and
+  /// certificates per variant, so cross-variant re-verifies collapse too.
+  /// Thread-safe; metrics are bitwise identical to the run-local scope.
+  crypto::VerifyMemo* memo = nullptr;
 };
 
 /// Build and run the scenario to completion. With `world`, the recorded

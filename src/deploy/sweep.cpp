@@ -1,6 +1,8 @@
 #include "deploy/sweep.hpp"
 
+#include "crypto/verify_memo.hpp"
 #include "deploy/replay.hpp"
+#include "sim/episode.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -12,6 +14,7 @@
 #include <thread>
 
 #include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace sos::deploy {
 
@@ -53,9 +56,14 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) co
   std::vector<CellResult> results(items.size());
   // Worlds are recorded lazily, once per cell, by whichever worker reaches
   // the cell first; call_once blocks that cell's other variants (not other
-  // cells) until the recording is done.
+  // cells) until the recording is done. The same pass partitions the trace
+  // (for the per-cell parallelism report) and mints the cell's sweep-wide
+  // verify memo.
   std::unique_ptr<std::once_flag[]> world_once(new std::once_flag[cells.size()]);
   std::vector<std::shared_ptr<const ScenarioWorld>> worlds(cells.size());
+  std::vector<std::unique_ptr<crypto::VerifyMemo>> memos(cells.size());
+  std::vector<double> parallelism(cells.size(), 0.0);
+  std::vector<std::size_t> episode_counts(cells.size(), 0);
 
   // Nested parallelism: cell workers and episode workers draw on one token
   // pool sized to the job count. Tokens not consumed by cell workers (and
@@ -80,14 +88,24 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) co
 
       std::shared_ptr<const ScenarioWorld> world;
       if (opts_.reuse_traces) {
-        std::call_once(world_once[item.cell],
-                       [&] { worlds[item.cell] = record_world(config); });
+        std::call_once(world_once[item.cell], [&] {
+          worlds[item.cell] = record_world(config);
+          sim::EpisodeGraph graph = sim::EpisodeGraph::partition(
+              worlds[item.cell]->trace, config.nodes, util::days(config.days));
+          parallelism[item.cell] = graph.parallelism();
+          episode_counts[item.cell] = graph.contact_episode_count();
+          if (opts_.cell_verify_memo) {
+            memos[item.cell] = std::make_unique<crypto::VerifyMemo>();
+          }
+        });
         world = worlds[item.cell];
       }
 
       CellResult& out = results[i];
+      ReplayOptions item_replay = replay;
+      item_replay.memo = memos[item.cell].get();  // nullptr = run-local scope
       auto t0 = std::chrono::steady_clock::now();
-      out.result = run_scenario(config, world.get(), replay);
+      out.result = run_scenario(config, world.get(), item_replay);
       out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
       out.cell = item.cell;
       out.variant = item.variant;
@@ -95,6 +113,8 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) co
       out.label = cell.label.empty() ? vlabel : cell.label + "/" + vlabel;
       out.config = std::move(config);
       out.replayed = world != nullptr;
+      out.episode_parallelism = parallelism[item.cell];
+      out.episodes = episode_counts[item.cell];
     }
     // This cell worker is done: hand its thread token to the episode
     // engines of cells still running.
@@ -173,7 +193,7 @@ std::vector<SweepCell> density_ablation_grid(double days) {
     c.variants = {{"interest", "interest", 86400.0, 0.0}};
     return c;
   };
-  return {
+  std::vector<SweepCell> grid = {
       cell(10, 11000, 8000),   // the deployment: 0.11 nodes/km^2
       cell(20, 11000, 8000),
       cell(50, 11000, 8000),
@@ -181,6 +201,22 @@ std::vector<SweepCell> density_ablation_grid(double days) {
       cell(50, 2000, 2000),    // "typical DTN sim": 12.5 nodes/km^2
       cell(100, 2000, 2000),
   };
+  // Community-structured cell (appended so the other cells keep their
+  // derived seeds): four disjoint 12-node communities with their own
+  // hotspot pools and home clusters, 10% bridge commuters. Spatially this
+  // is four sparse villages rather than one dense city, and causally it is
+  // the regime where the episode partitioner actually decomposes the day —
+  // the per-cell parallelism column should read >= 2 here and ~1 on the
+  // single-hotspot cells above (pinned by tests/episode_test.cpp).
+  SweepCell comm = cell(48, 6000, 6000);
+  comm.label = "48n-4c";
+  comm.config.communities = 4;
+  comm.config.bridge_node_frac = 0.10;
+  // Household-separated homes: an overnight pair inside radio range chains
+  // the community's days into one causal span and defeats the decomposition.
+  comm.config.mobility.home_min_separation_m = 150.0;
+  grid.push_back(std::move(comm));
+  return grid;
 }
 
 }  // namespace sos::deploy

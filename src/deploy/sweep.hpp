@@ -51,6 +51,13 @@ struct CellResult {
   ScenarioResult result;
   double wall_s = 0.0;
   bool replayed = false;         // ran from the recorded world
+  /// Conservative episode-parallel speedup ceiling of the cell's recorded
+  /// trace (sim::EpisodeGraph::parallelism(); 0 when no world was
+  /// recorded). Reported per cell by the density benches so trace-shape
+  /// regressions — a community cell collapsing back to one chain — are
+  /// visible in the bench tables, not only from tests.
+  double episode_parallelism = 0.0;
+  std::size_t episodes = 0;      // contact episodes in that partition
 };
 
 struct SweepOptions {
@@ -72,6 +79,14 @@ struct SweepOptions {
   /// threads, so the sweep never runs more than `jobs` + episode_jobs - 1
   /// busy threads and usually far fewer. 0 = single-scheduler replay.
   std::size_t episode_jobs = 0;
+  /// Sweep-wide verify memo: all variants of a cell replay against one
+  /// shared crypto::VerifyMemo (they share one recorded world, hence
+  /// identical bundles and certificates), so each distinct signature pays
+  /// curve math once per cell instead of once per variant. Thread-safe
+  /// across concurrently running variants; metrics are bitwise identical
+  /// to run-local memos (pinned by ctest -L sweep). Only effective with
+  /// reuse_traces.
+  bool cell_verify_memo = true;
 };
 
 class SweepRunner {

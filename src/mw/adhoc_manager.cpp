@@ -70,6 +70,19 @@ void AdHocManager::start() {
   endpoint_->start_browsing();
 }
 
+void AdHocManager::drop_live_sessions() {
+  // Collect first: on_session_down handlers may re-enter (the adaptive
+  // verify flush delivers bundles, which can touch the session map).
+  std::vector<sim::PeerId> secure;
+  for (const auto& [peer, session] : sessions_)
+    if (session.secure) secure.push_back(peer);
+  sessions_.clear();
+  for (sim::PeerId peer : secure) {
+    ++stats_.sessions_lost;
+    if (on_session_down) on_session_down(peer);
+  }
+}
+
 void AdHocManager::detach() {
   if (endpoint_ != nullptr) {
     endpoint_->on_peer_found = nullptr;

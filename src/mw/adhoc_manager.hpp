@@ -51,10 +51,19 @@ class AdHocManager {
   void start();
 
   // --- scheduler/network rebinding (episode-partitioned replay) ----------
+  /// Tear down any still-live sessions before the transport goes away: the
+  /// peers behind them are unreachable once detached, and a stale secure
+  /// entry would wedge the next handshake on that transport id. Secure
+  /// sessions are counted lost and fire on_session_down (so the message
+  /// layer runs its usual drop cleanup — adaptive verify flush included);
+  /// half-open handshakes are discarded silently. The resumption cache and
+  /// hints survive, which is what lets the next contact resume. No-op at a
+  /// quiescent point (episode boundaries, where every contact has ended).
+  void drop_live_sessions();
   /// Unhook from the current endpoint and scheduler. All soft state —
   /// sessions, resumption cache, verify cache, the advertised dictionary —
   /// survives; only the transport binding is released. Call only when no
-  /// session is live (episode boundaries are quiescent by construction).
+  /// session is live (SosNode::detach calls drop_live_sessions first).
   void detach();
   /// Rebind to a new scheduler/endpoint pair and restore the transport
   /// surface (advertising + browsing + discovery dictionary) if started.

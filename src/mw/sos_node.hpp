@@ -50,12 +50,14 @@ class SosNode {
   void start();
 
   // --- scheduler/network rebinding (episode-partitioned replay) -----------
-  /// Release the node from its scheduler and endpoint. Every piece of
-  /// middleware state survives — bundle store, sessions/resumption cache,
+  /// Release the node from its scheduler and endpoint. Durable middleware
+  /// state survives — bundle store, resumption cache, verify caches,
   /// routing tables, stats, pending timer deadlines — only the binding to
-  /// the simulation substrate is dropped. Call at a quiescent point (no
-  /// live sessions, no in-flight frames): episode boundaries by
-  /// construction.
+  /// the simulation substrate is dropped. Sessions still live at this
+  /// moment are torn down first (their transport is going away; the
+  /// resumption cache lets the next contact resume on the new shard);
+  /// episode boundaries are quiescent by construction, so the engine never
+  /// hits that path.
   void detach();
   /// Rebind to a new scheduler shard and endpoint; pending timers re-arm at
   /// their original absolute deadlines.

@@ -131,22 +131,64 @@ std::unique_ptr<TrajectoryMobility> levy_walk(std::size_t nodes, util::SimTime h
 std::unique_ptr<TrajectoryMobility> daily_routine(std::size_t nodes, util::SimTime horizon,
                                                   const DailyRoutineParams& params,
                                                   util::Rng& rng) {
-  // Shared hotspot locations: clustered near the center of the area
-  // (campus/downtown) so different users' visits overlap.
-  std::vector<Vec2> hotspots;
   const AreaSpec& area = params.area;
-  for (std::size_t h = 0; h < params.hotspot_count; ++h) {
-    double cx = area.width_m / 2, cy = area.height_m / 2;
-    double spread_x = area.width_m * params.hotspot_cluster_frac;
-    double spread_y = area.height_m * params.hotspot_cluster_frac;
-    hotspots.push_back({cx + rng.uniform(-spread_x, spread_x) / 2,
-                        cy + rng.uniform(-spread_y, spread_y) / 2});
+  const std::size_t communities = std::max<std::size_t>(params.community_count, 1);
+
+  // Community geometry: K cells on a near-square grid over the area. With
+  // one community the single cell is the whole area and the generator below
+  // consumes draws in exactly the pre-community order (bit-identical
+  // trajectories for any pre-community config).
+  const std::size_t grid_x =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(communities))));
+  const std::size_t grid_y = (communities + grid_x - 1) / grid_x;
+  const double cell_w = area.width_m / static_cast<double>(grid_x);
+  const double cell_h = area.height_m / static_cast<double>(grid_y);
+  std::vector<Vec2> centers(communities);
+  for (std::size_t c = 0; c < communities; ++c) {
+    centers[c] = {(static_cast<double>(c % grid_x) + 0.5) * cell_w,
+                  (static_cast<double>(c / grid_x) + 0.5) * cell_h};
+  }
+
+  // Per-community hotspot pools, clustered near each community's center
+  // (campus/downtown) so different members' visits overlap.
+  std::vector<std::vector<Vec2>> pools(communities);
+  for (std::size_t c = 0; c < communities; ++c) {
+    double spread_x = cell_w * params.hotspot_cluster_frac;
+    double spread_y = cell_h * params.hotspot_cluster_frac;
+    for (std::size_t h = 0; h < params.hotspot_count; ++h) {
+      pools[c].push_back({centers[c].x + rng.uniform(-spread_x, spread_x) / 2,
+                          centers[c].y + rng.uniform(-spread_y, spread_y) / 2});
+    }
   }
 
   std::vector<Trajectory> trajectories(nodes);
+  std::vector<std::vector<Vec2>> homes(communities);  // for separation sampling
   for (std::size_t i = 0; i < nodes; ++i) {
     Trajectory& tr = trajectories[i];
-    Vec2 home = random_point(area, rng);
+    // Balanced round-robin membership; bridge nodes rotate through all
+    // communities day by day (drawn only in multi-community mode so the
+    // classic path's stream is untouched).
+    const std::size_t base_comm = i % communities;
+    const bool bridge = communities > 1 && rng.chance(params.bridge_node_frac);
+    auto draw_home = [&]() -> Vec2 {
+      if (communities == 1) return random_point(area, rng);
+      double home_x = cell_w * params.community_spread_frac;
+      double home_y = cell_h * params.community_spread_frac;
+      return {centers[base_comm].x + rng.uniform(-home_x, home_x) / 2,
+              centers[base_comm].y + rng.uniform(-home_y, home_y) / 2};
+    };
+    Vec2 home = draw_home();
+    if (params.home_min_separation_m > 0) {
+      auto too_close = [&](const Vec2& p) {
+        for (const Vec2& other : homes[base_comm])
+          if (distance(p, other) < params.home_min_separation_m) return true;
+        return false;
+      };
+      // Bounded rejection: a saturated community keeps the last draw rather
+      // than spin (determinism and termination over perfect spacing).
+      for (int attempt = 0; attempt < 63 && too_close(home); ++attempt) home = draw_home();
+    }
+    homes[base_comm].push_back(home);
     Vec2 pos = home;
     tr.add(0, home);
     // Weekly schedule: the node reliably goes out on `active_weekdays` fixed
@@ -174,6 +216,13 @@ std::unique_ptr<TrajectoryMobility> daily_routine(std::size_t nodes, util::SimTi
                                                                   : params.offday_attend_p;
       }
       if (!rng.chance(attend_p)) continue;  // stays home all day
+      // Commuters attend a different community each day; everyone else
+      // stays with their own. The day's hotspot choices below draw from
+      // this pool only, so a bridge node is the sole carrier of state
+      // between communities.
+      const std::size_t day_comm =
+          bridge ? (base_comm + static_cast<std::size_t>(day)) % communities : base_comm;
+      const std::vector<Vec2>& hotspots = pools[day_comm];
 
       // Wake and head out.
       util::SimTime t = day_start + util::hours(params.wake_h) + rng.uniform(0, util::hours(1.5));
@@ -194,7 +243,9 @@ std::unique_ptr<TrajectoryMobility> daily_routine(std::size_t nodes, util::SimTi
         // day's popular gathering place (everyone overlaps now and then),
         // (c) anywhere.
         std::size_t block = static_cast<std::size_t>(t / util::days(1));
-        std::size_t popular = (block * 2654435761u) % hotspots.size();
+        // Salted per community so concurrent communities pick independent
+        // popular spots (salt 0 for community 0 keeps the classic stream).
+        std::size_t popular = (block * 2654435761u + day_comm * 1099087573u) % hotspots.size();
         std::size_t preferred = i % hotspots.size();
         double draw = rng.uniform();
         std::size_t choice;

@@ -112,11 +112,40 @@ struct DailyRoutineParams {
   double preferred_spot_p = 0.0;      // odds a visit targets the node's own haunt
   double sleep_start_h = 23.0;        // stationary at home overnight
   double wake_h = 7.5;                // (the paper notes 5-8 h/day stationary)
+
+  // --- multi-community structure (<= 1 keeps the classic one-city model,
+  // bit-identical to the pre-community generator) ---------------------------
+  /// Disjoint gathering communities: the area is tiled into a grid of K
+  /// community cells, each with its own hotspot pool (`hotspot_count` spots
+  /// clustered near the cell center) and home cluster. Nodes are assigned
+  /// round-robin (node i -> community i mod K), so membership is balanced.
+  /// Contacts then happen almost exclusively inside a community, which is
+  /// what lets the episode partitioner run communities concurrently.
+  std::size_t community_count = 1;
+  /// Fraction of nodes that commute: a bridge node keeps its home but
+  /// attends community (base + day) mod K on day `day`, carrying bundles
+  /// (and causal dependencies) between communities across day boundaries.
+  double bridge_node_frac = 0.0;
+  /// Homes scatter within this fraction of their community cell, leaving a
+  /// margin to the neighboring cells so overnight home pairs never span
+  /// communities (margin >> radio range for any realistic area).
+  double community_spread_frac = 0.6;
+  /// > 0: homes are rejection-sampled (bounded attempts) to keep at least
+  /// this distance from every previously placed home in the same community.
+  /// Two homes inside radio range form a pair that stays connected all
+  /// night, every night — one de-facto household, not two users — and such
+  /// pairs chain a community's days into one causal span, which is what
+  /// collapses episode parallelism. Set it to a few radio ranges for
+  /// community cells meant to decompose. 0 keeps the classic unconstrained
+  /// placement (and the classic RNG stream).
+  double home_min_separation_m = 0.0;
 };
 
 /// Human daily-routine model: every node has a home; on active days it
 /// visits a random sequence of shared hotspots (creating co-location and
-/// hence D2D encounters), returning home for the night.
+/// hence D2D encounters), returning home for the night. With
+/// `community_count` > 1 the hotspots and homes split into K spatially
+/// disjoint communities bridged only by commuting nodes.
 std::unique_ptr<TrajectoryMobility> daily_routine(std::size_t nodes, util::SimTime horizon,
                                                   const DailyRoutineParams& params,
                                                   util::Rng& rng);

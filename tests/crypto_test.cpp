@@ -2,7 +2,10 @@
 // property sweeps (round trips, tamper rejection, DH commutativity).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "crypto/aead.hpp"
 #include "crypto/chacha20.hpp"
@@ -13,6 +16,7 @@
 #include "crypto/poly1305.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/sha512.hpp"
+#include "crypto/verify_memo.hpp"
 #include "crypto/x25519.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
@@ -470,6 +474,109 @@ TEST_P(Ed25519RoundTrip, SignVerifyRandomKeysAndMessages) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Ed25519RoundTrip, ::testing::Range(0, 10));
+
+// --- VerifyMemo (sweep-wide signature-verdict memo) -------------------------------
+
+namespace {
+struct MemoItem {
+  sc::EdPublicKey pub;
+  su::Bytes msg;
+  sc::EdSignature sig;
+  bool valid;  // ground truth
+};
+
+/// Mixed workload: `n` triples, even = genuine signature, odd = forged
+/// (payload tampered after signing, so the verdict must be false).
+std::vector<MemoItem> memo_items(std::size_t n, const std::string& label) {
+  std::vector<MemoItem> items;
+  sc::Drbg drbg(su::to_bytes("memo-items-" + label));
+  for (std::size_t i = 0; i < n; ++i) {
+    auto kp = sc::Ed25519Keypair::from_seed(drbg.generate_array<32>());
+    MemoItem item;
+    item.pub = kp.public_key();
+    item.msg = drbg.generate(24 + i % 48);
+    item.sig = kp.sign(item.msg);
+    item.valid = (i % 2) == 0;
+    if (!item.valid) item.msg[0] ^= 0x5a;  // forge: signature no longer matches
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+}  // namespace
+
+TEST(VerifyMemo, ConcurrentHammeringKeepsVerdictsStable) {
+  // Eight threads hammer one memo with overlapping triple sets in different
+  // orders — the sweep-wide sharing pattern, where every variant of a cell
+  // races on the same memo. Every verdict must match ground truth on every
+  // call, and a forged signature must never memoize to true.
+  sc::VerifyMemo memo;
+  const auto items = memo_items(24, "concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          // Distinct, overlapping traversal order per thread.
+          const MemoItem& item = items[(i * (t + 1) + round) % items.size()];
+          if (memo.verify(item.pub, item.msg, item.sig) != item.valid) ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(memo.size(), items.size());  // each triple memoized exactly once
+  for (const auto& item : items) {
+    auto verdict = memo.lookup(sc::VerifyMemo::key_of(item.pub, item.msg, item.sig));
+    ASSERT_TRUE(verdict.has_value());
+    EXPECT_EQ(*verdict, item.valid);  // forged entries memoized as false, never true
+  }
+}
+
+TEST(VerifyMemo, ExternallyStoredVerdictsRoundTrip) {
+  // The batch-verify path computes verdicts outside the memo and stores
+  // them via store(); lookups must return exactly what was stored.
+  sc::VerifyMemo memo;
+  const auto items = memo_items(8, "store");
+  for (const auto& item : items) {
+    auto key = sc::VerifyMemo::key_of(item.pub, item.msg, item.sig);
+    EXPECT_FALSE(memo.lookup(key).has_value());
+    memo.store(key, item.valid);
+    auto verdict = memo.lookup(key);
+    ASSERT_TRUE(verdict.has_value());
+    EXPECT_EQ(*verdict, item.valid);
+  }
+  EXPECT_EQ(memo.size(), items.size());
+}
+
+TEST(VerifyMemo, CapacityBoundsGrowthWithoutChangingVerdicts) {
+  // A sweep-wide memo lives as long as its cell and sees every variant's
+  // triples: past its capacity it must stop growing, while verdicts —
+  // stored or recomputed — stay correct.
+  sc::VerifyMemo memo(32);
+  EXPECT_EQ(memo.capacity(), 32u);
+  const auto items = memo_items(96, "capacity");
+  for (const auto& item : items) {
+    EXPECT_EQ(memo.verify(item.pub, item.msg, item.sig), item.valid);
+  }
+  EXPECT_LE(memo.size(), memo.capacity());
+  EXPECT_GT(memo.size(), 0u);
+  // Re-verifying the same set recomputes the evicted ones but never lies.
+  for (const auto& item : items) {
+    EXPECT_EQ(memo.verify(item.pub, item.msg, item.sig), item.valid);
+  }
+  EXPECT_LE(memo.size(), memo.capacity());
+  // store() respects the same bound.
+  sc::VerifyMemo bounded(16);
+  for (const auto& item : items) {
+    bounded.store(sc::VerifyMemo::key_of(item.pub, item.msg, item.sig), item.valid);
+  }
+  EXPECT_LE(bounded.size(), bounded.capacity());
+}
 
 // --- DRBG ------------------------------------------------------------------------
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <vector>
 
@@ -278,6 +279,147 @@ TEST(EpisodeReplay, SweepRunnerEpisodeJobsMatchesSingleScheduler) {
         << baseline[i].label;
     EXPECT_EQ(baseline[i].config.seed, sharded[i].config.seed);
   }
+}
+
+// --- randomized multi-community determinism harness --------------------------
+
+namespace {
+
+/// Episode jobs to sweep per sampled world. SOS_EPISODE_JOBS (when numeric)
+/// joins the set, so `run_benches.sh --check` can push the TSan run to a
+/// specific worker count without editing the test.
+std::vector<std::size_t> harness_jobs() {
+  std::vector<std::size_t> jobs{1, 2, 4};
+  if (const char* env = std::getenv("SOS_EPISODE_JOBS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 &&
+        std::find(jobs.begin(), jobs.end(), static_cast<std::size_t>(v)) == jobs.end()) {
+      jobs.push_back(static_cast<std::size_t>(v));
+    }
+  }
+  return jobs;
+}
+
+/// The structural invariants every partition must satisfy, checked on an
+/// arbitrary sampled trace: complete coverage (each contact in exactly one
+/// episode), disjoint concurrency (a node's contact-episode windows tile
+/// its timeline without overlap, so it is never attached to two schedulers
+/// at once), and tail coverage (the final contact-free episode runs every
+/// node out to the horizon).
+void check_partition_invariants(const ss::ContactTrace& trace, const ss::EpisodeGraph& graph,
+                                std::size_t nodes, double horizon) {
+  std::set<std::size_t> seen;
+  for (const auto& e : graph.episodes()) {
+    for (std::size_t ci : e.contacts) {
+      EXPECT_TRUE(seen.insert(ci).second) << "contact " << ci << " in two episodes";
+    }
+  }
+  EXPECT_EQ(seen.size(), trace.size());
+
+  ASSERT_FALSE(graph.episodes().empty());
+  const ss::Episode& tail = graph.episodes().back();
+  EXPECT_TRUE(tail.contacts.empty());
+  EXPECT_EQ(tail.nodes.size(), nodes);
+  EXPECT_DOUBLE_EQ(tail.last_end, horizon);
+
+  for (std::uint32_t node = 0; node < nodes; ++node) {
+    std::vector<std::pair<double, double>> windows;  // (node first start, episode end)
+    for (const auto& e : graph.episodes()) {
+      if (e.contacts.empty()) continue;
+      double first = -1;
+      for (std::size_t ci : e.contacts) {
+        const auto& c = trace.contacts()[ci];
+        if (c.a == node || c.b == node) {
+          if (first < 0 || c.start < first) first = c.start;
+        }
+      }
+      if (first >= 0) windows.push_back({first, e.last_end});
+    }
+    std::sort(windows.begin(), windows.end());
+    for (std::size_t i = 1; i < windows.size(); ++i) {
+      EXPECT_GE(windows[i].first, windows[i - 1].second)
+          << "node " << node << " attached to two overlapping episodes";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(RandomizedDeterminism, MultiCommunityWorldsAreBitwiseIdenticalAcrossEngines) {
+  // ~50 random worlds across the community knob space (1-4 communities,
+  // 0-30% bridge commuters, mixed schemes/windows, seeds via derive_seed):
+  // every sampled trace must satisfy the partition invariants, and episode
+  // replay must be bitwise identical to the single-scheduler replay at
+  // every worker count. This is the pin that lets the community mobility
+  // subsystem ride the parallel engine without a determinism leap of faith.
+  const std::vector<std::size_t> jobs = harness_jobs();
+  const char* schemes[] = {"interest", "epidemic", "prophet"};
+  const int kWorlds = 50;
+  std::size_t total_contacts = 0, total_posts = 0, total_deliveries = 0;
+  for (int w = 0; w < kWorlds; ++w) {
+    const std::uint64_t seed = su::derive_seed(0xC0117EC7, static_cast<std::uint64_t>(w));
+    su::Rng pick(seed);
+    sd::ScenarioConfig config = sd::gainesville_config(schemes[w % 3], seed);
+    config.nodes = 8 + pick.below(9);                        // 8..16
+    config.communities = 1 + pick.below(4);                  // 1..4
+    config.bridge_node_frac = pick.uniform(0.0, 0.3);
+    config.mobility.home_min_separation_m = pick.chance(0.5) ? 150.0 : 0.0;
+    config.area_w_m = 1200.0 + pick.uniform(0.0, 1800.0);
+    config.area_h_m = 1200.0 + pick.uniform(0.0, 1800.0);
+    // 1.5 days: evening posts meet the next morning's encounters, so
+    // deliveries (and their middleware state) routinely cross the day
+    // boundary — the episode-handoff case the engine exists for.
+    config.days = 1.5;
+    config.total_posts_target = 4.0 * static_cast<double>(config.nodes);
+    if (w % 5 == 0) {
+      config.verify_batch_window_s = 30.0;
+      config.verify_batch_adaptive = (w % 10 == 0);
+    }
+
+    auto world = sd::record_world(config);
+    auto graph =
+        ss::EpisodeGraph::partition(world->trace, config.nodes, su::days(config.days));
+    check_partition_invariants(world->trace, graph, config.nodes, su::days(config.days));
+
+    const Fingerprint single = fingerprint(sd::run_scenario(config, world.get()));
+    for (std::size_t j : jobs) {
+      const Fingerprint episodes = fingerprint(
+          sd::run_scenario(config, world.get(), {.partition = true, .jobs = j}));
+      EXPECT_EQ(single, episodes)
+          << "world " << w << " (" << config.scheme << ", " << config.communities
+          << " communities, seed " << config.seed << ") diverged at jobs " << j;
+    }
+    total_contacts += world->trace.size();
+    total_posts += single.posts;
+    total_deliveries += single.deliveries;
+  }
+  // The sampled population exercised the full stack, not 50 empty worlds.
+  EXPECT_GT(total_contacts, 500u);
+  EXPECT_GT(total_posts, 200u);
+  EXPECT_GT(total_deliveries, 50u);
+}
+
+TEST(RandomizedDeterminism, CommunityDensityCellReachesParallelismCeiling) {
+  // The acceptance bar for the community-structured ablation cell: its
+  // recorded trace must decompose to a conservative parallelism ceiling of
+  // at least 2 (the single-hotspot cells sit at ~1.0), so episode workers
+  // have real concurrency to exploit on multi-core hosts.
+  auto grid = sd::density_ablation_grid(3.0);
+  sd::SweepRunner runner{sd::SweepOptions{}};
+  std::size_t idx = grid.size();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid[i].label == "48n-4c") idx = i;
+  }
+  ASSERT_LT(idx, grid.size()) << "community cell missing from density_ablation_grid";
+  sd::ScenarioConfig config = runner.cell_config(grid[idx], idx);
+  EXPECT_EQ(config.communities, 4u);
+  auto world = sd::record_world(config);
+  auto graph =
+      ss::EpisodeGraph::partition(world->trace, config.nodes, su::days(config.days));
+  check_partition_invariants(world->trace, graph, config.nodes, su::days(config.days));
+  EXPECT_GE(graph.parallelism(), 2.0);
+  EXPECT_GT(graph.contact_episode_count(), 8u);
 }
 
 // --- cross-segment state handoff --------------------------------------------

@@ -635,6 +635,122 @@ TEST(MwResume, EvictedCacheEntryFallsBackToFullHandshake) {
   EXPECT_EQ(bed.node(0).stats().full_handshakes, 3u);
 }
 
+// --- detach/attach seam under resumption (episode-partitioned replay) --------
+
+TEST(MwSeam, MidSessionDetachResumesOnNewShard) {
+  // A node detached while a session is still live (the engine never does
+  // this — episode boundaries are quiescent — but the seam must be total):
+  // the live session is torn down with its transport, while the resumption
+  // cache migrates, so the next contact on a fresh shard is a 1-RTT resume
+  // with zero new X25519 work, not a full handshake.
+  sp::BootstrapService infra{su::to_bytes("seam-infra")};
+  ss::Scheduler sched_a;
+  ss::MpcNetwork net_a(sched_a, 2);
+  sm::SosConfig config;
+  config.maintenance_interval_s = 0;
+  config.resume_lifetime_s = 1e9;
+  sc::Drbg d0(su::to_bytes("seam-0")), d1(su::to_bytes("seam-1"));
+  sm::SosNode alice(sched_a, net_a.endpoint(0), *infra.signup("seam-alice", d0, 0), config);
+  sm::SosNode bob(sched_a, net_a.endpoint(1), *infra.signup("seam-bob", d1, 0), config);
+  std::vector<std::string> got;
+  bob.on_data = [&](const sb::Bundle& b, const sp::Certificate&) {
+    got.push_back(su::to_string(b.payload));
+  };
+  alice.start();
+  bob.start();
+  bob.follow(alice.user_id());
+  alice.publish(su::to_bytes("before"));
+  net_a.set_in_range(0, 1, true);
+  sched_a.run_all();
+  ASSERT_EQ(got, (std::vector<std::string>{"before"}));
+  ASSERT_EQ(alice.adhoc().secure_peers().size(), 1u);  // still mid-session
+  ASSERT_EQ(alice.stats().full_handshakes, 1u);
+  const std::uint64_t ecdh_alice = alice.stats().ecdh_ops;
+  const std::uint64_t ecdh_bob = bob.stats().ecdh_ops;
+
+  alice.detach();
+  bob.detach();
+  EXPECT_FALSE(alice.attached());
+  EXPECT_EQ(alice.stats().sessions_lost, 1u);  // transport gone = session gone
+  EXPECT_EQ(bob.stats().sessions_lost, 1u);
+  EXPECT_EQ(alice.adhoc().secure_peers().size(), 0u);
+  EXPECT_EQ(alice.adhoc().resume_cache_size(), 1u);  // the secret migrates
+
+  ss::Scheduler sched_b(sched_a.now());
+  ss::MpcNetwork net_b(sched_b, 2);
+  alice.attach(sched_b, net_b.endpoint(0));
+  bob.attach(sched_b, net_b.endpoint(1));
+  alice.publish(su::to_bytes("after"));
+  net_b.set_in_range(0, 1, true);
+  sched_b.run_all();
+
+  EXPECT_EQ(got, (std::vector<std::string>{"before", "after"}));
+  for (const sm::SosNode* n : {&alice, &bob}) {
+    EXPECT_EQ(n->stats().sessions_established, 2u);
+    EXPECT_EQ(n->stats().sessions_resumed, 1u);  // resumed, not re-handshaken
+    EXPECT_EQ(n->stats().full_handshakes, 1u);
+    EXPECT_EQ(n->stats().resume_rejected, 0u);
+  }
+  EXPECT_EQ(alice.stats().ecdh_ops, ecdh_alice);  // zero X25519 on the resume
+  EXPECT_EQ(bob.stats().ecdh_ops, ecdh_bob);
+}
+
+TEST(MwSeam, PendingAdaptiveVerifyFlushDeadlineSurvivesMigration) {
+  // A verify-batch flush scheduled on shard A must fire at its original
+  // absolute deadline on shard B: a burst received after the migration
+  // rides the migrated deadline (earlier than the window a fresh schedule
+  // would have picked), pinning that the deadline — not just the queue —
+  // crossed the seam.
+  sp::BootstrapService infra{su::to_bytes("flushmig-infra")};
+  ss::Scheduler sched_a;
+  ss::MpcNetwork net_a(sched_a, 2);
+  sm::SosConfig config;
+  config.maintenance_interval_s = 0;
+  config.verify_batch_window_s = 100.0;
+  config.verify_batch_adaptive = true;
+  sc::Drbg d0(su::to_bytes("fm-0")), d1(su::to_bytes("fm-1"));
+  sm::SosNode alice(sched_a, net_a.endpoint(0), *infra.signup("fm-alice", d0, 0), config);
+  sm::SosNode bob(sched_a, net_a.endpoint(1), *infra.signup("fm-bob", d1, 0), config);
+  alice.start();
+  bob.start();
+  bob.follow(alice.user_id());
+  alice.publish(su::to_bytes("p1"));
+  alice.publish(su::to_bytes("p2"));
+
+  // Shard A: the burst arrives by t=8, arming the flush for its arrival
+  // time + 100 (i.e. somewhere in [100, 108]). The session then drops and
+  // the adaptive path delivers the burst immediately — but the armed
+  // deadline stays pending, with an empty queue behind it.
+  net_a.set_in_range(0, 1, true);
+  sched_a.run_until(8.0);
+  ASSERT_EQ(bob.stats().bundles_received, 2u);
+  ASSERT_EQ(bob.stats().deliveries, 0u);  // still queued: window is long
+  net_a.set_in_range(0, 1, false);
+  sched_a.run_until(12.0);
+  ASSERT_EQ(bob.stats().deliveries, 2u);  // adaptive flush at session drop
+
+  alice.detach();
+  bob.detach();
+  ss::Scheduler sched_b(sched_a.now());
+  ss::MpcNetwork net_b(sched_b, 2);
+  alice.attach(sched_b, net_b.endpoint(0));
+  bob.attach(sched_b, net_b.endpoint(1));
+
+  // Shard B: a new bundle arrives ~t=13-20 — a fresh schedule would flush
+  // at >= 113. It must instead ride the migrated deadline (<= 108).
+  alice.publish(su::to_bytes("p3"));
+  net_b.set_in_range(0, 1, true);
+  sched_b.run_until(20.0);
+  ASSERT_EQ(bob.stats().bundles_received, 3u);
+  EXPECT_EQ(bob.stats().deliveries, 2u);
+  sched_b.run_until(95.0);
+  EXPECT_EQ(bob.stats().deliveries, 2u);  // deadline not reached yet
+  sched_b.run_until(110.0);
+  EXPECT_EQ(bob.stats().deliveries, 3u)
+      << "flush did not fire at the migrated deadline on the new shard";
+  EXPECT_GE(bob.stats().bundle_batch_verifies, 1u);
+}
+
 // --- stats & bookkeeping -----------------------------------------------------------------
 
 TEST(MwStats, CountersTrackActivity) {

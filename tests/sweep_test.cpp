@@ -145,6 +145,62 @@ TEST(Sweep, ReplayOfRecordedWorldIsDeterministic) {
   EXPECT_EQ(a.contacts, world->trace.size());
 }
 
+TEST(Sweep, SweepWideMemoScopeDoesNotChangeMetrics) {
+  // The sweep-wide verify memo (one crypto::VerifyMemo shared by every
+  // variant of a cell, concurrently) is pure-function memoization: per-cell
+  // metrics must be bitwise identical to run-local memos at any thread
+  // count. A multi-community cell with three scheme variants exercises the
+  // cross-variant sharing under both cell- and episode-level workers.
+  auto community_cell = [] {
+    sd::SweepCell cell;
+    cell.label = "memo";
+    cell.config = sd::gainesville_config("interest");
+    cell.config.nodes = 15;
+    cell.config.area_w_m = 2000;
+    cell.config.area_h_m = 2000;
+    cell.config.days = 2.0;
+    cell.config.communities = 3;
+    cell.config.bridge_node_frac = 0.2;
+    cell.config.mobility.home_min_separation_m = 150.0;
+    cell.config.total_posts_target = 80.0;
+    cell.variants = {{"interest", "interest", 86400.0, 0.0},
+                     {"epidemic", "epidemic", 86400.0, 0.0},
+                     {"prophet", "prophet", 86400.0, 0.0}};
+    return cell;
+  };
+  sd::SweepOptions local_opts;
+  local_opts.jobs = 1;
+  local_opts.cell_verify_memo = false;
+  auto run_local = sd::SweepRunner(local_opts).run({community_cell()});
+  sd::SweepOptions shared_opts;
+  shared_opts.jobs = 3;
+  shared_opts.episode_jobs = 2;
+  shared_opts.cell_verify_memo = true;
+  auto sweep_wide = sd::SweepRunner(shared_opts).run({community_cell()});
+  ASSERT_EQ(run_local.size(), sweep_wide.size());
+  std::uint64_t deliveries = 0;
+  for (std::size_t i = 0; i < run_local.size(); ++i) {
+    EXPECT_EQ(fingerprint(run_local[i]), fingerprint(sweep_wide[i])) << run_local[i].label;
+    deliveries += run_local[i].result.oracle.delivery_count();
+  }
+  EXPECT_GT(deliveries, 0u);
+}
+
+TEST(Sweep, CellResultsReportEpisodeParallelism) {
+  // The per-cell parallelism ceiling rides along with every variant result
+  // (the density benches print it), and a recorded world always yields at
+  // least one contact episode.
+  sd::SweepOptions opts;
+  opts.jobs = 2;
+  auto results = sd::SweepRunner(opts).run(tiny_grid());
+  for (const auto& r : results) {
+    EXPECT_GE(r.episode_parallelism, 1.0) << r.label;
+    EXPECT_GT(r.episodes, 0u) << r.label;
+  }
+  // Variants of one cell share the recorded world, hence the same partition.
+  EXPECT_DOUBLE_EQ(results[0].episode_parallelism, results[1].episode_parallelism);
+}
+
 // --- the scheduler invariant the sweep property rests on -------------------
 
 TEST(Scheduler, SameTimestampEventsRunInInsertionOrder) {
