@@ -11,6 +11,7 @@
 #include "pki/bootstrap.hpp"
 #include "sim/episode.hpp"
 #include "sim/multipeer.hpp"
+#include "util/rng.hpp"
 #include "util/time.hpp"
 
 using namespace sos;
@@ -345,6 +346,48 @@ BENCHMARK(BM_DensitySweep)
     ->Args({1, 0})
     ->Args({1, 1})
     ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+static void BM_DisasterPack(benchmark::State& state) {
+  // The disaster fault pack (deploy::disaster_pack_grid): one row per fault
+  // cell — calm, lossy, storm, churn, quake, blackhole, sigstorm, siege —
+  // each running the signed and unsigned epidemic variants over one shared
+  // recorded world. The counters are the signed-vs-unsigned table the
+  // README quotes: delivery = delivered-of-posted / deliverable (adversarial
+  // junk never counts as delivered workload), intr = transfers interrupted,
+  // rejected = forged/invalid bundle signatures refused, dropped = frames
+  // eaten by injected loss/grayholes. Metrics are bitwise deterministic at
+  // any --jobs/--episode-jobs count (ctest -L fault pins this); the seeds
+  // match a full-grid SweepRunner run with default options.
+  auto grid = deploy::disaster_pack_grid(2.0);
+  const std::size_t idx = static_cast<std::size_t>(state.range(0));
+  deploy::SweepCell cell = grid.at(idx);
+  cell.config.seed = util::derive_seed(42, idx);
+  deploy::SweepOptions opts;
+  opts.derive_seeds = false;
+  deploy::SweepRunner runner(opts);
+
+  std::vector<deploy::CellResult> results;
+  for (auto _ : state) {
+    results = runner.run({cell});
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetLabel(cell.label);
+  for (const auto& r : results) {
+    const std::string v = r.config.verify_signatures ? "signed" : "unsigned";
+    state.counters["delivery_" + v] = r.result.oracle.posted_delivery_ratio();
+    state.counters["intr_" + v] = static_cast<double>(r.result.totals.transfers_interrupted);
+    state.counters["rejected_" + v] =
+        static_cast<double>(r.result.totals.bundle_sig_rejected);
+    state.counters["dropped_" + v] = static_cast<double>(r.result.frames_dropped_fault);
+    state.counters["reboots"] = static_cast<double>(r.result.totals.reboots);
+  }
+}
+BENCHMARK(BM_DisasterPack)
+    ->DenseRange(0, 7)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1)
     ->MeasureProcessCPUTime()

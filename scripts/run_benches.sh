@@ -13,13 +13,13 @@
 # way) additionally replays each cell on the episode-partitioned engine.
 #
 # With --check, no benches run: the script configures a TSan build
-# (-DSOS_SANITIZE=thread) in <build-dir>-tsan and runs the `sweep`-labelled
-# determinism tests under it, so data races in the sharded replay engine
-# fail loudly. It refuses to report "clean" unless the suite binaries are
-# actually TSan-instrumented (stale cache / toolchain dropping the flag),
-# and additionally re-runs the randomized multi-community harness with
-# SOS_EPISODE_JOBS=4 so the episode worker pool is exercised at a fixed
-# width:
+# (-DSOS_SANITIZE=thread) in <build-dir>-tsan and runs the `sweep`- and
+# `fault`-labelled determinism tests under it, so data races in the sharded
+# replay engine and in the fault-injection layer fail loudly. It refuses to
+# report "clean" unless the suite binaries are actually TSan-instrumented
+# (stale cache / toolchain dropping the flag), and additionally re-runs the
+# randomized multi-community harness with SOS_EPISODE_JOBS=4 so the episode
+# worker pool is exercised at a fixed width:
 #   scripts/run_benches.sh --check build
 set -euo pipefail
 
@@ -50,9 +50,9 @@ if [[ $check -eq 1 ]]; then
     echo "error: $tsan_dir was configured without SOS_SANITIZE=thread; refusing --check" >&2
     exit 1
   fi
-  cmake --build "$tsan_dir" -j "$(nproc)" --target sweep_test episode_test
+  cmake --build "$tsan_dir" -j "$(nproc)" --target sweep_test episode_test fault_test
   # ...and that the suite binaries are actually instrumented.
-  for bin in sweep_test episode_test; do
+  for bin in sweep_test episode_test fault_test; do
     # Plain grep (not -q): under pipefail, -q would SIGPIPE nm on the first
     # match and fail the healthy case.
     if ! nm "$tsan_dir/$bin" 2>/dev/null | grep '__tsan' > /dev/null; then
@@ -62,10 +62,12 @@ if [[ $check -eq 1 ]]; then
   done
   echo "== TSan check: ctest -L sweep =="
   ctest --test-dir "$tsan_dir" -L sweep --output-on-failure
+  echo "== TSan check: ctest -L fault =="
+  ctest --test-dir "$tsan_dir" -L fault --output-on-failure
   echo "== TSan check: randomized multi-community harness, SOS_EPISODE_JOBS=4 =="
   SOS_EPISODE_JOBS=4 "$tsan_dir/episode_test" \
     --gtest_filter='RandomizedDeterminism.*'
-  echo "TSan sweep suite clean"
+  echo "TSan sweep + fault suites clean"
   exit 0
 fi
 

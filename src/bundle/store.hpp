@@ -57,6 +57,16 @@ class BundleStore {
   std::uint64_t evicted_count() const { return evicted_; }
   std::uint64_t duplicate_count() const { return duplicates_; }
 
+  /// Reboot-with-store-loss: drop every held bundle and index entry. The
+  /// eviction/duplicate counters survive — they are lifetime statistics,
+  /// not store contents.
+  void clear() {
+    bundles_.clear();
+    by_creation_.clear();
+    summary_.clear();
+    unicast_count_ = 0;
+  }
+
  private:
   void evict_if_needed();
   /// Re-derive one publisher's summary entry after a removal (O(log n):

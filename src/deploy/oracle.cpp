@@ -38,6 +38,28 @@ double MetricsOracle::overall_delivery_ratio() const {
   return static_cast<double>(deliveries_.size()) / static_cast<double>(deliverable);
 }
 
+std::size_t MetricsOracle::delivered_of_posted() const {
+  std::set<bundle::BundleId> posted;
+  for (const auto& p : posts_) posted.insert(p.id);
+  std::size_t n = 0;
+  for (const auto& d : deliveries_)
+    if (posted.count(d.id) > 0) ++n;
+  return n;
+}
+
+double MetricsOracle::posted_delivery_ratio() const {
+  std::map<pki::UserId, std::size_t> follower_count;
+  for (const auto& [follower, pubs] : follows_)
+    for (const auto& p : pubs) ++follower_count[p];
+  std::size_t deliverable = 0;
+  for (const auto& p : posts_) {
+    auto it = follower_count.find(p.author);
+    if (it != follower_count.end()) deliverable += it->second;
+  }
+  if (deliverable == 0) return 0.0;
+  return static_cast<double>(delivered_of_posted()) / static_cast<double>(deliverable);
+}
+
 util::Cdf MetricsOracle::delay_cdf(bool one_hop_only) const {
   std::map<bundle::BundleId, util::SimTime> created;
   for (const auto& p : posts_) created[p.id] = p.created;

@@ -60,6 +60,13 @@ class MetricsOracle {
   std::map<int, std::size_t> hop_histogram() const;
   /// delivered / (deliverable = sum over posts of author's follower count).
   double overall_delivery_ratio() const;
+  /// Deliveries whose bundle id matches a recorded post. Adversarial junk
+  /// (flooder/forger publishes) is never recorded as a post, but unsigned
+  /// deployments still deliver it to the adversary's followers — this is
+  /// the honest-workload delivery count the disaster benches report.
+  std::size_t delivered_of_posted() const;
+  /// delivered_of_posted / deliverable (the fault-cell delivery column).
+  double posted_delivery_ratio() const;
 
   // --- Fig 4c: delay CDFs ----------------------------------------------------
   /// Delivery delays in seconds; `one_hop_only` restricts to 1-hop

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -28,7 +29,9 @@ struct EpisodeOut {
   std::uint64_t wire_frames = 0;
   std::uint64_t wire_bytes = 0;
   std::uint64_t connections = 0;
+  std::uint64_t connections_failed = 0;
   std::uint64_t frames_lost = 0;
+  std::uint64_t frames_dropped_fault = 0;
 };
 
 /// Shared engine state. Episode workers touch disjoint slices: an episode
@@ -37,11 +40,16 @@ struct EpisodeOut {
 struct EngineState {
   const ScenarioConfig& config;
   const ScenarioWorld& world;
+  /// The trace the episodes index into — the recorded trace, or its
+  /// fault-reshaped transform when the plan clips contacts.
+  const sim::ContactTrace& trace;
+  const sim::FaultPlan* plan;  // compiled fault plan (may be null)
   const sim::EpisodeGraph& graph;
   std::vector<std::unique_ptr<mw::SosNode>>& nodes;
   std::vector<std::unique_ptr<alleyoop::App>>& apps;
-  const std::vector<std::vector<util::SimTime>>& post_times;
-  std::vector<std::size_t>& post_cursor;       // next unscheduled post per node
+  /// Per-node merged workload timelines (posts + floods + reboots).
+  const std::vector<std::vector<detail::TimelineEvent>>& timelines;
+  std::vector<std::size_t>& timeline_cursor;   // next unscheduled event per node
   std::vector<util::SimTime>& resume_at;       // per-node timeline progress
   std::vector<EpisodeOut>& outs;
   double horizon;
@@ -56,12 +64,16 @@ void run_episode(const EngineState& st, std::size_t ei) {
 
   sim::Scheduler sched(t_start);
   sim::MpcNetwork net(sched, config.nodes, config.radio);
+  // Per-frame fault draws key on (link, exact timestamp, same-timestamp
+  // sequence), all of which this shard reproduces exactly — a fresh network
+  // per episode costs nothing.
+  if (st.plan != nullptr) net.set_fault_plan(st.plan);
 
   // The episode's contact subset, in trace order — the same relative order
   // (and therefore the same same-timestamp FIFO behavior) the full trace
   // has on the single-scheduler path.
   sim::ContactTrace sub;
-  for (std::size_t ci : e.contacts) sub.add(st.world.trace.contacts()[ci]);
+  for (std::size_t ci : e.contacts) sub.add(st.trace.contacts()[ci]);
   sim::TracePlayer player(sched, std::move(sub));
   player.on_contact_start = [&net](std::uint32_t a, std::uint32_t b) {
     net.set_in_range(static_cast<sim::PeerId>(a), static_cast<sim::PeerId>(b), true);
@@ -91,25 +103,43 @@ void run_episode(const EngineState& st, std::size_t ei) {
     };
   }
 
-  // This episode's slice of the posting workload: each member's next posts
-  // up to the episode end, numbered exactly as the single-scheduler path
-  // numbers them (cursor + 1 over the node's full posting list).
+  // This episode's slice of the workload timeline: each member's next
+  // events (posts, adversarial junk publishes, reboots) up to the episode
+  // end, scheduled strictly in merged-timeline order. An event before this
+  // shard's t_start clamps to t_start while keeping its place in the FIFO,
+  // which is exactly what the single-scheduler path's relative order
+  // reduces to at an episode boundary.
   for (std::uint32_t n : e.nodes) {
-    const std::vector<util::SimTime>& times = st.post_times[n];
-    std::size_t& cursor = st.post_cursor[n];
-    while (cursor < times.size() && times[cursor] <= t_end) {
-      const util::SimTime t = times[cursor];
-      const int k = static_cast<int>(cursor) + 1;
+    const std::vector<detail::TimelineEvent>& tl = st.timelines[n];
+    std::size_t& cursor = st.timeline_cursor[n];
+    while (cursor < tl.size() && tl[cursor].t <= t_end) {
+      const detail::TimelineEvent& ev = tl[cursor];
       const std::size_t idx = n;
       alleyoop::App& app = *st.apps[n];
       mw::SosNode& node = *st.nodes[n];
-      sched.schedule_at(t, [&out, &app, &node, &sched, &mobility, idx, k] {
-        auto post = app.post("post #" + std::to_string(k) + " by user" + std::to_string(idx));
-        out.oracle.record_post({{node.user_id(), post.msg_num},
-                                node.user_id(),
-                                sched.now(),
-                                mobility.position(idx, sched.now())});
-      });
+      switch (ev.kind) {
+        case detail::TimelineEvent::Kind::Post:
+          sched.schedule_at(ev.t, [&out, &app, &node, &sched, &mobility, idx, k = ev.k] {
+            auto post =
+                app.post("post #" + std::to_string(k) + " by user" + std::to_string(idx));
+            out.oracle.record_post({{node.user_id(), post.msg_num},
+                                    node.user_id(),
+                                    sched.now(),
+                                    mobility.position(idx, sched.now())});
+          });
+          break;
+        case detail::TimelineEvent::Kind::Flood:
+          sched.schedule_at(ev.t, [&node, idx, k = ev.k] {
+            node.publish(util::to_bytes("junk #" + std::to_string(k) + " from user" +
+                                        std::to_string(idx)));
+          });
+          break;
+        case detail::TimelineEvent::Kind::Reboot:
+          sched.schedule_at(ev.t, [&node, churn = ev.churn] {
+            node.reboot(churn->lose_store, churn->lose_resume_cache);
+          });
+          break;
+      }
       ++cursor;
     }
   }
@@ -126,7 +156,9 @@ void run_episode(const EngineState& st, std::size_t ei) {
   out.wire_frames = net.frames_sent();
   out.wire_bytes = net.bytes_sent();
   out.connections = net.connections_established();
+  out.connections_failed = net.connections_failed();
   out.frames_lost = net.frames_lost();
+  out.frames_dropped_fault = net.frames_dropped_fault();
   // player cancels its leftover events before sched is destroyed.
 }
 
@@ -136,7 +168,20 @@ ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
                                         const ScenarioWorld& world,
                                         const ReplayOptions& replay) {
   const double horizon = util::days(config.days);
-  sim::EpisodeGraph graph = sim::EpisodeGraph::partition(world.trace, config.nodes, horizon);
+
+  // Compiled fault plan; trace-reshaping faults transform the recorded
+  // trace BEFORE partitioning, so the episode DAG decomposes the same
+  // faulted world the single-scheduler path replays.
+  std::optional<sim::FaultPlan> fault_plan;
+  if (config.faults.any()) fault_plan.emplace(config.faults, config.seed, config.nodes);
+  const sim::FaultPlan* plan = fault_plan ? &*fault_plan : nullptr;
+  sim::ContactTrace faulted;
+  const sim::ContactTrace* trace = &world.trace;
+  if (plan != nullptr && plan->reshapes_trace()) {
+    faulted = plan->apply(world.trace);
+    trace = &faulted;
+  }
+  sim::EpisodeGraph graph = sim::EpisodeGraph::partition(*trace, config.nodes, horizon);
 
   // --- RNG streams, consumed in exactly the single-scheduler order --------
   util::Rng rng(config.seed);
@@ -158,7 +203,7 @@ ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
   crypto::VerifyMemo* verify_memo = replay.memo != nullptr ? replay.memo : &run_memo;
   detail::Fleet fleet;
   detail::build_fleet(fleet, config, staging, staging_net,
-                      replay.share_verify_memo ? verify_memo : nullptr);
+                      replay.share_verify_memo ? verify_memo : nullptr, plan);
   auto& nodes = fleet.nodes;
   auto& apps = fleet.apps;
 
@@ -171,17 +216,14 @@ ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
   for (auto& node : nodes) node->detach();
 
   util::Rng workload_rng = rng.fork();
-  std::vector<std::vector<util::SimTime>> post_times(config.nodes);
-  for (std::size_t i = 0; i < config.nodes; ++i) {
-    post_times[i] = detail::posting_times(config, workload_rng);
-  }
-  std::vector<std::size_t> post_cursor(config.nodes, 0);
+  auto timelines = detail::build_timelines(config, workload_rng, plan);
+  std::vector<std::size_t> timeline_cursor(config.nodes, 0);
   std::vector<util::SimTime> resume_at(config.nodes, 0.0);
 
   const auto& episodes = graph.episodes();
   std::vector<EpisodeOut> outs(episodes.size());
-  EngineState st{config,     world,       graph,     nodes, apps,
-                 post_times, post_cursor, resume_at, outs,  horizon};
+  EngineState st{config, world,     *trace,          plan,      graph, nodes,
+                 apps,   timelines, timeline_cursor, resume_at, outs,  horizon};
 
   // --- execute the episode DAG --------------------------------------------
   std::vector<std::size_t> pending(episodes.size(), 0);
@@ -281,10 +323,12 @@ ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
     result.wire_frames += out.wire_frames;
     result.wire_bytes += out.wire_bytes;
     result.connections += out.connections;
+    result.connections_failed += out.connections_failed;
     result.frames_lost += out.frames_lost;
+    result.frames_dropped_fault += out.frames_dropped_fault;
   }
   for (const auto& node : nodes) detail::add_stats(result.totals, node->stats());
-  result.contacts = world.trace.size();
+  result.contacts = trace->size();
   result.simulated_days = config.days;
   return result;
 }

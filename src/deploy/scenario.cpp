@@ -1,5 +1,6 @@
 #include "deploy/scenario.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -72,7 +73,8 @@ graph::Digraph build_social_graph(const ScenarioConfig& config, util::Rng& rng) 
 }
 
 void build_fleet(Fleet& fleet, const ScenarioConfig& config, sim::Scheduler& sched,
-                 sim::MpcNetwork& net, crypto::VerifyMemo* verify_memo) {
+                 sim::MpcNetwork& net, crypto::VerifyMemo* verify_memo,
+                 const sim::FaultPlan* plan) {
   pki::BootstrapService infra(
       util::concat(util::to_bytes("scenario-infra-"),
                    util::Bytes{static_cast<std::uint8_t>(config.seed)}));
@@ -82,9 +84,19 @@ void build_fleet(Fleet& fleet, const ScenarioConfig& config, sim::Scheduler& sch
     auto creds = infra.signup("user" + std::to_string(i), device, sched.now());
     mw::SosConfig mw_config;
     mw_config.scheme = config.scheme;
+    mw_config.store_capacity = config.store_capacity;
     mw_config.resume_lifetime_s = config.resume_lifetime_s;
     mw_config.verify_batch_window_s = config.verify_batch_window_s;
     mw_config.verify_batch_adaptive = config.verify_batch_adaptive;
+    mw_config.verify_signatures = config.verify_signatures;
+    if (plan != nullptr) {
+      // Adversaries keep their PKI identity and workload; only behavior
+      // changes. A blackhole swaps its routing scheme for the sink; a
+      // forger corrupts every signature it makes.
+      sim::AdversaryRole role = plan->role(static_cast<std::uint32_t>(i));
+      if (role == sim::AdversaryRole::Blackhole) mw_config.scheme = "blackhole";
+      if (role == sim::AdversaryRole::Forger) mw_config.forge_signatures = true;
+    }
     fleet.nodes.push_back(std::make_unique<mw::SosNode>(
         sched, net.endpoint(static_cast<sim::PeerId>(i)), std::move(*creds), mw_config));
     if (verify_memo != nullptr) fleet.nodes.back()->set_verify_memo(verify_memo);
@@ -100,6 +112,37 @@ std::map<pki::UserId, std::set<pki::UserId>> wire_follows(Fleet& fleet,
     follows[fleet.nodes[i]->user_id()].insert(fleet.nodes[j]->user_id());
   }
   return follows;
+}
+
+std::vector<std::vector<TimelineEvent>> build_timelines(const ScenarioConfig& config,
+                                                        util::Rng& workload_rng,
+                                                        const sim::FaultPlan* plan) {
+  const double horizon = util::days(config.days);
+  std::vector<std::vector<TimelineEvent>> timelines(config.nodes);
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    std::vector<TimelineEvent>& tl = timelines[i];
+    const std::uint32_t node = static_cast<std::uint32_t>(i);
+    std::vector<util::SimTime> posts = posting_times(config, workload_rng);
+    for (std::size_t k = 0; k < posts.size(); ++k) {
+      if (plan != nullptr && plan->node_down(node, posts[k])) continue;
+      tl.push_back({posts[k], TimelineEvent::Kind::Post, static_cast<int>(k) + 1, nullptr});
+    }
+    if (plan != nullptr) {
+      std::vector<util::SimTime> floods = plan->flood_times(node, horizon);
+      for (std::size_t k = 0; k < floods.size(); ++k) {
+        tl.push_back({floods[k], TimelineEvent::Kind::Flood, static_cast<int>(k) + 1, nullptr});
+      }
+      for (const sim::NodeChurnEvent& c : plan->churn_for(node)) {
+        if (c.up_at < horizon) tl.push_back({c.up_at, TimelineEvent::Kind::Reboot, 0, &c});
+      }
+      // Stable sort: same-instant ties keep insertion order (Post < Flood <
+      // Reboot), the tie-break both engines rely on.
+      std::stable_sort(tl.begin(), tl.end(), [](const TimelineEvent& a, const TimelineEvent& b) {
+        return a.t < b.t;
+      });
+    }
+  }
+  return timelines;
 }
 
 void add_stats(mw::NodeStats& a, const mw::NodeStats& b) {
@@ -129,6 +172,7 @@ void add_stats(mw::NodeStats& a, const mw::NodeStats& b) {
   a.deliveries += b.deliveries;
   a.transfers_interrupted += b.transfers_interrupted;
   a.published += b.published;
+  a.reboots += b.reboots;
 }
 
 }  // namespace detail
@@ -163,6 +207,14 @@ std::shared_ptr<const ScenarioWorld> record_world(const ScenarioConfig& config) 
 
 ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* world,
                             const ReplayOptions& replay) {
+  if (config.faults.reshapes_trace() && world == nullptr) {
+    // Trace-reshaping faults (churn/partitions/disconnect windows) are a
+    // pure transformation of a recorded contact trace — that is what makes
+    // them engine-invariant — so a live run records its world on the fly
+    // and replays it.
+    std::shared_ptr<const ScenarioWorld> recorded = record_world(config);
+    return run_scenario(config, recorded.get(), replay);
+  }
   if (world != nullptr && replay.partition) {
     return replay_scenario_episodes(config, *world, replay);
   }
@@ -170,6 +222,12 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* w
   sim::Scheduler sched;
   util::Rng rng(config.seed);
   double horizon = util::days(config.days);
+
+  // Compiled fault plan; absent (the common case) every fault hook below
+  // is skipped and the engine is bit-identical to the pre-fault one.
+  std::optional<sim::FaultPlan> fault_plan;
+  if (config.faults.any()) fault_plan.emplace(config.faults, config.seed, config.nodes);
+  const sim::FaultPlan* plan = fault_plan ? &*fault_plan : nullptr;
 
   // --- mobility + radio ----------------------------------------------------
   std::unique_ptr<sim::TrajectoryMobility> owned_mobility;
@@ -186,6 +244,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* w
   }
 
   sim::MpcNetwork net(sched, config.nodes, config.radio);
+  if (plan != nullptr) net.set_fault_plan(plan);
   auto range_on = [&net](std::uint32_t a, std::uint32_t b) {
     net.set_in_range(static_cast<sim::PeerId>(a), static_cast<sim::PeerId>(b), true);
   };
@@ -194,8 +253,12 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* w
   };
   std::optional<sim::EncounterDetector> detector;
   std::optional<sim::TracePlayer> player;
+  std::uint64_t contact_count = 0;
   if (world) {
-    player.emplace(sched, world->trace);
+    sim::ContactTrace trace = world->trace;
+    if (plan != nullptr && plan->reshapes_trace()) trace = plan->apply(world->trace);
+    contact_count = trace.size();
+    player.emplace(sched, std::move(trace));
     player->on_contact_start = range_on;
     player->on_contact_end = range_off;
     player->start();
@@ -226,7 +289,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* w
   }
 
   detail::Fleet fleet;
-  detail::build_fleet(fleet, config, sched, net, verify_memo);
+  detail::build_fleet(fleet, config, sched, net, verify_memo, plan);
   auto& nodes = fleet.nodes;
   auto& apps = fleet.apps;
 
@@ -250,21 +313,41 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* w
     node.start();
   }
 
-  // --- posting workload ---------------------------------------------------------
+  // --- workload: posts + adversarial junk + reboots -------------------------
+  // One merged chronological timeline per node, scheduled strictly in list
+  // order (the same order the episode engine uses), so same-timestamp ties
+  // and boundary clamps resolve identically in both engines.
   util::Rng workload_rng = rng.fork();
+  auto timelines = detail::build_timelines(config, workload_rng, plan);
   for (std::size_t i = 0; i < config.nodes; ++i) {
     std::size_t idx = i;
-    int k = 0;
-    for (util::SimTime t : detail::posting_times(config, workload_rng)) {
-      ++k;
-      sched.schedule_at(t, [&, idx, k] {
-        auto post = apps[idx]->post("post #" + std::to_string(k) + " by user" +
-                                    std::to_string(idx));
-        oracle.record_post({{nodes[idx]->user_id(), post.msg_num},
-                            nodes[idx]->user_id(),
-                            sched.now(),
-                            mobility->position(idx, sched.now())});
-      });
+    for (const detail::TimelineEvent& ev : timelines[i]) {
+      switch (ev.kind) {
+        case detail::TimelineEvent::Kind::Post:
+          sched.schedule_at(ev.t, [&, idx, k = ev.k] {
+            auto post = apps[idx]->post("post #" + std::to_string(k) + " by user" +
+                                        std::to_string(idx));
+            oracle.record_post({{nodes[idx]->user_id(), post.msg_num},
+                                nodes[idx]->user_id(),
+                                sched.now(),
+                                mobility->position(idx, sched.now())});
+          });
+          break;
+        case detail::TimelineEvent::Kind::Flood:
+          // Junk publish straight through the middleware (no app, and never
+          // recorded as a post: the oracle's delivered-of-posted metrics
+          // must count only the honest workload).
+          sched.schedule_at(ev.t, [&, idx, k = ev.k] {
+            nodes[idx]->publish(util::to_bytes("junk #" + std::to_string(k) + " from user" +
+                                               std::to_string(idx)));
+          });
+          break;
+        case detail::TimelineEvent::Kind::Reboot:
+          sched.schedule_at(ev.t, [&, idx, churn = ev.churn] {
+            nodes[idx]->reboot(churn->lose_store, churn->lose_resume_cache);
+          });
+          break;
+      }
     }
   }
 
@@ -273,11 +356,13 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* w
 
   // --- collect ----------------------------------------------------------------------
   for (const auto& node : nodes) detail::add_stats(result.totals, node->stats());
-  result.contacts = world ? world->trace.size() : detector->total_contacts_seen();
+  result.contacts = world ? contact_count : detector->total_contacts_seen();
   result.wire_frames = net.frames_sent();
   result.wire_bytes = net.bytes_sent();
   result.connections = net.connections_established();
+  result.connections_failed = net.connections_failed();
   result.frames_lost = net.frames_lost();
+  result.frames_dropped_fault = net.frames_dropped_fault();
   result.simulated_days = config.days;
   return result;
 }

@@ -13,6 +13,7 @@
 #include "deploy/oracle.hpp"
 #include "graph/digraph.hpp"
 #include "mw/stats.hpp"
+#include "sim/faults.hpp"
 #include "sim/radio.hpp"
 #include "sim/trace.hpp"
 
@@ -60,6 +61,22 @@ struct ScenarioConfig {
   /// transfer — the batched passes without the dense-cell delivery loss.
   bool verify_batch_adaptive = false;
 
+  /// Disaster fault-injection plan (sim/faults.hpp): degraded links, node
+  /// churn, partition-and-heal timelines, adversarial roles. Default (no
+  /// faults) is bit-identical to the pre-fault engine. Trace-reshaping
+  /// faults require a recorded world; run_scenario records one on the fly
+  /// when needed. Use FaultPlanConfig::validate before sweeping grids.
+  sim::FaultPlanConfig faults;
+
+  /// Content-verification ablation (the "unsigned" baseline of the disaster
+  /// benches): nodes accept received bundles without certificate/signature
+  /// checks. Transport encryption and handshakes are untouched.
+  bool verify_signatures = true;
+
+  /// Per-node bundle-store capacity (flooder cells shrink this to make
+  /// store-pressure effects visible).
+  std::size_t store_capacity = 10000;
+
   /// Social graph; node i follows node j iff edge (i, j). Defaults to the
   /// reconstructed Fig 4a graph when nodes == 10, otherwise a sampled
   /// campus community of matching density.
@@ -78,7 +95,9 @@ struct ScenarioResult {
   std::uint64_t wire_frames = 0;
   std::uint64_t wire_bytes = 0;
   std::uint64_t connections = 0;
+  std::uint64_t connections_failed = 0; // declined/out-of-range/broken setups
   std::uint64_t frames_lost = 0;        // mid-transfer disconnects
+  std::uint64_t frames_dropped_fault = 0;  // injected loss/grayhole drops
   graph::Digraph social;                // the graph actually used
   double simulated_days = 0;
 };

@@ -32,9 +32,12 @@ struct Fleet {
 /// device DRBG seed strings, signup order, SosConfig plumbing — is
 /// determinism-critical and must be byte-identical for every replay
 /// engine, which is why it lives in one place. `verify_memo` (optional)
-/// is shared across all nodes.
+/// is shared across all nodes; `plan` (optional) assigns adversarial
+/// behavior per the plan's node roles (blackhole scheme, forged
+/// signatures).
 void build_fleet(Fleet& fleet, const ScenarioConfig& config, sim::Scheduler& sched,
-                 sim::MpcNetwork& net, crypto::VerifyMemo* verify_memo);
+                 sim::MpcNetwork& net, crypto::VerifyMemo* verify_memo,
+                 const sim::FaultPlan* plan);
 
 /// Apply the social graph's follow edges to the apps and return the
 /// follower -> publishers map the metrics oracle consumes.
@@ -45,6 +48,30 @@ std::map<pki::UserId, std::set<pki::UserId>> wire_follows(Fleet& fleet,
 /// so the expected total across nodes matches total_posts_target. Consumes
 /// draws from `rng` (the shared workload stream) in node-call order.
 std::vector<util::SimTime> posting_times(const ScenarioConfig& config, util::Rng& rng);
+
+/// One entry of a node's merged workload timeline.
+struct TimelineEvent {
+  util::SimTime t = 0;
+  enum class Kind { Post, Flood, Reboot } kind = Kind::Post;
+  /// 1-based ordinal within the node's post (or flood) list; posts keep
+  /// their unfaulted numbering so surviving posts match across ablations.
+  int k = 0;
+  const sim::NodeChurnEvent* churn = nullptr;  // Reboot only (plan-owned)
+};
+
+/// Per-node chronological timelines of workload posts, adversarial junk
+/// publishes (flooder/forger roles), and reboot events (churn up_at). Both
+/// replay engines schedule each node's timeline strictly in this order:
+/// episode shards clamp pre-window events to their start while preserving
+/// insertion order, so the single-scheduler relative order survives the
+/// clamp only if both engines schedule from one merged list. Ties keep
+/// Post < Flood < Reboot. Posts inside a down-window are omitted (a dead
+/// phone cannot post); reboots at/after the horizon never fire. Consumes
+/// the workload stream exactly as the pre-fault engines did. `plan` may be
+/// null (plain posting timelines); otherwise it must outlive the result.
+std::vector<std::vector<TimelineEvent>> build_timelines(const ScenarioConfig& config,
+                                                        util::Rng& workload_rng,
+                                                        const sim::FaultPlan* plan);
 
 /// Generate the config's mobility trajectories. Consumes exactly one fork
 /// of the scenario RNG regardless of mode so the graph/workload streams

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "util/rng.hpp"
@@ -32,6 +33,8 @@ ScenarioConfig variant_config(const SweepCell& cell, const ScenarioVariant& v,
   config.resume_lifetime_s = v.resume_lifetime_s;
   config.verify_batch_window_s = v.verify_batch_window_s;
   config.verify_batch_adaptive = v.verify_batch_adaptive;
+  config.verify_signatures = v.verify_signatures;
+  if (v.faults) config.faults = *v.faults;
   return config;
 }
 }  // namespace
@@ -49,6 +52,29 @@ SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {
 }
 
 std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) const {
+  // Validate every (cell, variant) fault plan before running anything: an
+  // insane grid (overlapping churn, adversary fraction >= 1, windows
+  // outside the horizon) fails fast with every problem listed, instead of
+  // burning a grid's worth of CPU on a nonsense cell.
+  std::string problems;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (std::size_t v = 0; v < cells[c].variants.size(); ++v) {
+      ScenarioConfig config = variant_config(cells[c], cells[c].variants[v], opts_, c);
+      for (const std::string& p :
+           config.faults.validate(util::days(config.days), config.nodes)) {
+        const std::string& vlabel = cells[c].variants[v].label.empty()
+                                        ? cells[c].variants[v].scheme
+                                        : cells[c].variants[v].label;
+        problems += "cell " + std::to_string(c) + " (" +
+                    (cells[c].label.empty() ? vlabel : cells[c].label + "/" + vlabel) +
+                    "): " + p + "\n";
+      }
+    }
+  }
+  if (!problems.empty()) {
+    throw std::invalid_argument("invalid sweep fault plan(s):\n" + problems);
+  }
+
   std::vector<WorkItem> items;
   for (std::size_t c = 0; c < cells.size(); ++c)
     for (std::size_t v = 0; v < cells[c].variants.size(); ++v) items.push_back({c, v});
@@ -216,6 +242,102 @@ std::vector<SweepCell> density_ablation_grid(double days) {
   // the community's days into one causal span and defeats the decomposition.
   comm.config.mobility.home_min_separation_m = 150.0;
   grid.push_back(std::move(comm));
+  return grid;
+}
+
+std::vector<SweepCell> disaster_pack_grid(double days) {
+  const double horizon = util::days(days);
+  // Signed vs unsigned epidemic over the same faulted world. Unsigned
+  // ablates bundle verification only — handshakes stay authenticated — so
+  // the delta isolates what signature checking buys under attack.
+  ScenarioVariant signed_v;
+  signed_v.label = "signed";
+  signed_v.scheme = "epidemic";
+  ScenarioVariant unsigned_v = signed_v;
+  unsigned_v.label = "unsigned";
+  unsigned_v.verify_signatures = false;
+
+  auto cell = [&](const std::string& label) {
+    SweepCell c;
+    c.label = label;
+    c.config = gainesville_config("epidemic");
+    c.config.nodes = 24;
+    c.config.area_w_m = 2000;
+    c.config.area_h_m = 2000;
+    c.config.days = days;
+    c.config.total_posts_target = 8.0 * 24.0 * days;  // ~8 posts/user/day
+    c.variants = {signed_v, unsigned_v};
+    return c;
+  };
+
+  std::vector<SweepCell> grid;
+  grid.push_back(cell("calm"));
+
+  // Lossy, asymmetric links: the damaged-antenna pathology — one direction
+  // drops 5x more than the other.
+  SweepCell lossy = cell("lossy");
+  lossy.config.faults.link.loss_p = 0.05;
+  lossy.config.faults.link.loss_p_reverse = 0.25;
+  lossy.config.faults.link.jitter_max_s = 0.02;
+  grid.push_back(std::move(lossy));
+
+  // Aftershock storm: baseline jitter, two congestion spikes, one
+  // radio-dead sweep mid-horizon.
+  SweepCell storm = cell("storm");
+  storm.config.faults.link.loss_p = 0.10;
+  storm.config.faults.link.jitter_max_s = 0.05;
+  storm.config.faults.link.jitter_spikes = {{0.25 * horizon, 0.30 * horizon},
+                                            {0.60 * horizon, 0.70 * horizon}};
+  storm.config.faults.link.jitter_spike_max_s = 0.5;
+  storm.config.faults.link.disconnects = {{0.45 * horizon, 0.50 * horizon}};
+  grid.push_back(std::move(storm));
+
+  // Battery churn: a third of the fleet dies and power-cycles; most reboots
+  // lose the store, one also loses the session-resume cache.
+  SweepCell churn = cell("churn");
+  for (std::uint32_t n : {1u, 5u, 9u, 13u, 17u, 21u}) {
+    sim::NodeChurnEvent ev;
+    ev.node = n;
+    ev.down_at = (0.20 + 0.08 * (n % 4)) * horizon;
+    ev.up_at = ev.down_at + 0.15 * horizon;
+    ev.lose_store = true;
+    ev.lose_resume_cache = (n == 13);
+    churn.config.faults.churn.push_back(ev);
+  }
+  grid.push_back(std::move(churn));
+
+  // Quake: the area splits into two isolated halves for a quarter of the
+  // horizon, then heals.
+  SweepCell quake = cell("quake");
+  quake.config.faults.partitions = {{{0.30 * horizon, 0.55 * horizon}, 2}};
+  grid.push_back(std::move(quake));
+
+  // Routing-layer adversaries: blackhole sinks plus grayhole forwarders
+  // whose radios silently eat half their outbound frames.
+  SweepCell blackhole = cell("blackhole");
+  blackhole.config.faults.adversaries.blackhole_frac = 0.15;
+  blackhole.config.faults.adversaries.grayhole_frac = 0.15;
+  blackhole.config.faults.adversaries.grayhole_forward_p = 0.5;
+  grid.push_back(std::move(blackhole));
+
+  // Forged-signature storm: forgers flood junk bundles whose signatures
+  // never verify. Signed variants pay pure rejection load; unsigned
+  // variants spread the junk for free.
+  SweepCell sigstorm = cell("sigstorm");
+  sigstorm.config.faults.adversaries.forger_frac = 0.20;
+  sigstorm.config.faults.adversaries.flood_posts_per_hour = 30.0;
+  grid.push_back(std::move(sigstorm));
+
+  // Siege: blackhole sinks and a forged-signature storm at once — the
+  // headline signed-vs-unsigned ablation condition. Signed deployments pay
+  // verification to reject the storm; unsigned deployments carry it into
+  // their already-blackholed capacity.
+  SweepCell siege = cell("siege");
+  siege.config.faults.adversaries.blackhole_frac = 0.15;
+  siege.config.faults.adversaries.forger_frac = 0.20;
+  siege.config.faults.adversaries.flood_posts_per_hour = 30.0;
+  grid.push_back(std::move(siege));
+
   return grid;
 }
 

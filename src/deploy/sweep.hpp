@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,7 +24,9 @@
 namespace sos::deploy {
 
 /// One middleware/routing variant replayed over a cell's shared world.
-/// Only fields that cannot change the world are here by construction.
+/// Only fields that cannot change the recorded world are here by
+/// construction — faults qualify because they are applied as a replay-time
+/// transformation of the shared recorded trace, never by re-recording.
 struct ScenarioVariant {
   std::string label;                      // defaults to the scheme name
   std::string scheme = "interest";
@@ -32,6 +35,13 @@ struct ScenarioVariant {
   /// Flush queued verifications on session drop / store pressure instead
   /// of waiting out the window (ScenarioConfig::verify_batch_adaptive).
   bool verify_batch_adaptive = false;
+  /// Bundle-signature verification on delivery/forwarding paths (the
+  /// signed-vs-unsigned disaster ablation). Handshake authentication is
+  /// never ablated.
+  bool verify_signatures = true;
+  /// Variant-level fault plan override; unset keeps the cell config's plan.
+  /// Validated (with everything else) up front by SweepRunner::run.
+  std::optional<sim::FaultPlanConfig> faults;
 };
 
 /// One grid cell: a world/workload config plus the variants sharing it.
@@ -96,7 +106,10 @@ class SweepRunner {
   /// Execute every (cell, variant) pair. The returned vector is ordered by
   /// (cell, variant) regardless of which worker finished first, and every
   /// metric in it is a pure function of (base seed, grid) — never of
-  /// `jobs`.
+  /// `jobs`. Every (cell, variant) fault plan is validated up front
+  /// (sim::FaultPlanConfig::validate against the cell's horizon and node
+  /// count); an insane grid throws std::invalid_argument listing every
+  /// problem before any cell runs.
   std::vector<CellResult> run(const std::vector<SweepCell>& cells) const;
 
   /// The exact config `run` executes for one (cell, variant) — including
@@ -121,5 +134,14 @@ SweepOptions sweep_options_from_args(int argc, char** argv);
 /// BM_DensitySweep snapshot, and fig4a's community-graph characterization
 /// so they can never drift apart.
 std::vector<SweepCell> density_ablation_grid(double days = 3.0);
+
+/// The disaster fault pack (ROADMAP item 3): one mid-density epidemic world
+/// per fault regime — calm baseline, lossy/asymmetric links, aftershock
+/// jitter storm with a radio-dead window, battery churn with
+/// reboot-with-store-loss, a partition-and-heal quake timeline, a
+/// blackhole/grayhole mix, and a forged-signature storm — each run as a
+/// signed and an unsigned variant. Shared by bench_disaster_pack, the
+/// BM_DisasterPack snapshot, and the fault determinism tests.
+std::vector<SweepCell> disaster_pack_grid(double days = 2.0);
 
 }  // namespace sos::deploy

@@ -83,6 +83,23 @@ void AdHocManager::drop_live_sessions() {
   }
 }
 
+void AdHocManager::reset_after_reboot(bool lose_resume_cache) {
+  // RAM is gone: half-open handshakes and the verified-bundle cache. (Live
+  // sessions must already have been dropped — drop_live_sessions — so their
+  // loss was counted and cascaded.) The resumption state — secrets AND the
+  // transport-id -> identity hints pointing at them — persists like a TLS
+  // client's on-disk ticket store, so a crash reboot still resumes its
+  // recurring contacts; only a flash wipe forces full handshakes again.
+  sessions_.clear();
+  verify_cache_.clear();
+  verify_lru_.clear();
+  if (lose_resume_cache) {
+    resume_hint_.clear();
+    resume_cache_.clear();
+    resume_lru_.clear();
+  }
+}
+
 void AdHocManager::detach() {
   if (endpoint_ != nullptr) {
     endpoint_->on_peer_found = nullptr;
@@ -557,6 +574,7 @@ bool AdHocManager::bundle_policy_ok(const bundle::Bundle& b, const pki::Certific
 }
 
 bool AdHocManager::verify_bundle(const bundle::Bundle& b, const pki::Certificate& origin_cert) {
+  if (!verify_signatures_) return true;  // unsigned-baseline ablation
   // Policy half (issuer, validity window, CRL, identity binding): cheap and
   // time-dependent, evaluated on every reception — cached or not.
   if (!bundle_policy_ok(b, origin_cert)) return false;
@@ -583,6 +601,7 @@ bool AdHocManager::verify_bundle(const bundle::Bundle& b, const pki::Certificate
 }
 
 std::vector<bool> AdHocManager::verify_bundles(const std::vector<BundleToVerify>& batch) {
+  if (!verify_signatures_) return std::vector<bool>(batch.size(), true);
   std::vector<bool> ok(batch.size(), false);
 
   // Cache/policy pass; survivors join one batch signature verification

@@ -70,6 +70,21 @@ class AdHocManager {
   void attach(sim::Scheduler& sched, sim::MpcEndpoint& endpoint);
   bool attached() const { return sched_ != nullptr; }
 
+  /// Power-cycle state loss (fault-injection churn): everything held in RAM
+  /// goes — session state, transport resume hints, the verified-bundle
+  /// cache. The resumption-secret cache is nominally persisted; pass
+  /// lose_resume_cache to model flash loss too, forcing the next contact
+  /// back to a full handshake. Call with no live sessions
+  /// (drop_live_sessions first); the advertised dictionary and started flag
+  /// survive so the node comes back up advertising.
+  void reset_after_reboot(bool lose_resume_cache);
+
+  /// Content-verification ablation: when off, verify_bundle/verify_bundles
+  /// accept everything without policy or signature checks (the unsigned
+  /// epidemic baseline of the disaster benches). Session handshakes are
+  /// untouched — this ablates bundle trust, not transport encryption.
+  void set_verify_signatures(bool on) { verify_signatures_ = on; }
+
   /// Share a cross-node memo of signature verdicts (replay engines): the
   /// bundle/cert checks below consult it before doing curve math. Counters
   /// are unaffected — the memo only skips recomputing a pure function.
@@ -215,6 +230,7 @@ class AdHocManager {
   std::map<sim::PeerId, Session> sessions_;
   bool started_ = false;               // advertising+browsing requested
   sim::DiscoveryInfo advert_info_;     // survives rebinding
+  bool verify_signatures_ = true;      // see set_verify_signatures
   crypto::VerifyMemo* verify_memo_ = nullptr;
 
   // Verified-bundle cache: id -> digest of (bundle signed bytes, bundle

@@ -82,6 +82,19 @@ MessageManager::~MessageManager() {
   adhoc_.on_frame = nullptr;
 }
 
+void MessageManager::reset_after_reboot(bool lose_store) {
+  if (verify_flush_scheduled_) {
+    if (adhoc_.attached()) adhoc_.scheduler().cancel(verify_flush_event_);
+    verify_flush_scheduled_ = false;
+  }
+  verify_queue_.clear();
+  session_users_.clear();
+  sent_this_session_.clear();
+  cert_cache_.clear();
+  remember_certificate(adhoc_.credentials().certificate);
+  if (lose_store) store_.clear();
+}
+
 void MessageManager::detach() {
   // The deadline is absolute, so the flush re-arms exactly where it would
   // have fired: a window that straddles an episode boundary flushes at the

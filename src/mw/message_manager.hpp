@@ -76,6 +76,13 @@ class MessageManager {
     verify_batch_max_queue_ = max_queue > 0 ? max_queue : 1;
   }
 
+  /// Power-cycle state loss (fault-injection churn): the verify queue and
+  /// its pending flush, session bookkeeping, and the certificate cache all
+  /// lived in RAM and are gone. The bundle store is nominally persisted;
+  /// pass lose_store to model flash loss too. The node's own certificate is
+  /// re-remembered (it ships with the app).
+  void reset_after_reboot(bool lose_store);
+
   // --- scheduler rebinding (episode-partitioned replay) -------------------
   /// Release the scheduler binding, remembering the pending flush deadline.
   /// The ad hoc manager must still be attached when this is called.

@@ -1,0 +1,31 @@
+#include "mw/schemes/adversary.hpp"
+
+namespace sos::mw {
+
+std::map<pki::UserId, std::uint32_t> BlackholeScheme::advertisement(const RoutingContext&) {
+  return {};
+}
+
+bool BlackholeScheme::should_connect(const RoutingContext&,
+                                     const std::map<pki::UserId, std::uint32_t>& advertised) {
+  return !advertised.empty();
+}
+
+RequestPlan BlackholeScheme::plan_requests(const RoutingContext& ctx, const PeerView& peer) {
+  RequestPlan plan;
+  for (const auto& [uid, num] : peer.summary.entries) {
+    std::uint32_t held = ctx.max_held(uid);
+    if (num > held) plan.by_publisher.emplace_back(uid, held);
+  }
+  return plan;
+}
+
+bool BlackholeScheme::may_send(const RoutingContext&, const bundle::Bundle&, const PeerView&) {
+  return false;
+}
+
+bool BlackholeScheme::should_carry(const RoutingContext&, const bundle::Bundle&) {
+  return true;
+}
+
+}  // namespace sos::mw

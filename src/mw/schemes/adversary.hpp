@@ -1,0 +1,32 @@
+// Adversarial routing behavior for the fault-injection layer: a blackhole
+// node pulls every bundle it can reach (epidemic-greedy requests) and then
+// sinks them — it advertises nothing and serves nothing, so every copy it
+// absorbs is a copy the honest network lost. Grayhole behavior lives at the
+// radio layer instead (FaultPlan::frame_fault silently drops a fraction of
+// the node's outbound frames), so its losses land in wire counters.
+#pragma once
+
+#include "mw/routing.hpp"
+
+namespace sos::mw {
+
+class BlackholeScheme : public RoutingScheme {
+ public:
+  std::string name() const override { return "blackhole"; }
+
+  /// Advertise nothing: honest browsers see an empty dictionary and skip
+  /// us, but we still browse and pull from them.
+  std::map<pki::UserId, std::uint32_t> advertisement(const RoutingContext& ctx) override;
+  /// Connect to anyone with anything at all.
+  bool should_connect(const RoutingContext& ctx,
+                      const std::map<pki::UserId, std::uint32_t>& advertised) override;
+  /// Request everything we do not yet hold (maximal absorption).
+  RequestPlan plan_requests(const RoutingContext& ctx, const PeerView& peer) override;
+  /// Serve nothing, ever.
+  bool may_send(const RoutingContext& ctx, const bundle::Bundle& b,
+                const PeerView& peer) override;
+  /// Carry (absorb) everything — the point is to hold copies hostage.
+  bool should_carry(const RoutingContext& ctx, const bundle::Bundle& b) override;
+};
+
+}  // namespace sos::mw

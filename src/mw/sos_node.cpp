@@ -5,6 +5,7 @@
 #include "crypto/aead.hpp"
 #include "crypto/hkdf.hpp"
 #include "crypto/x25519.hpp"
+#include "mw/schemes/adversary.hpp"
 #include "mw/schemes/direct.hpp"
 #include "mw/schemes/epidemic.hpp"
 #include "mw/schemes/interest_based.hpp"
@@ -19,6 +20,7 @@ std::unique_ptr<RoutingScheme> make_scheme(const std::string& name) {
   if (name == "spray") return std::make_unique<SprayAndWaitScheme>();
   if (name == "prophet") return std::make_unique<ProphetScheme>();
   if (name == "direct") return std::make_unique<DirectDeliveryScheme>();
+  if (name == "blackhole") return std::make_unique<BlackholeScheme>();
   return nullptr;
 }
 
@@ -31,6 +33,7 @@ SosNode::SosNode(sim::Scheduler& sched, sim::MpcEndpoint& endpoint, pki::DeviceC
   adhoc_->set_verify_cache_capacity(config_.store_capacity);
   adhoc_->set_resume_cache_capacity(config_.resume_cache_capacity);
   adhoc_->set_resume_lifetime(config_.resume_lifetime_s);
+  adhoc_->set_verify_signatures(config_.verify_signatures);
   msgs_ = std::make_unique<MessageManager>(*adhoc_, stats_, config_.store_capacity);
   msgs_->set_verify_batch_window(config_.verify_batch_window_s);
   msgs_->set_verify_batch_adaptive(config_.verify_batch_adaptive, config_.verify_batch_max_queue);
@@ -76,6 +79,18 @@ bool SosNode::attached() const {
   return sched_ != nullptr;
 }
 
+void SosNode::reboot(bool lose_store, bool lose_resume_cache) {
+  // Any session still live dies with the power (the fault plan clips
+  // contacts out of down-windows, so this is normally a no-op); the drop
+  // cascade must run while the full stack still has its RAM state.
+  adhoc_->drop_live_sessions();
+  msgs_->reset_after_reboot(lose_store);
+  adhoc_->reset_after_reboot(lose_resume_cache);
+  // Come back up advertising whatever survived in the store.
+  routing_->refresh_advertisement();
+  ++stats_.reboots;
+}
+
 bool SosNode::set_scheme(const std::string& name) {
   auto scheme = make_scheme(name);
   if (!scheme) return false;
@@ -92,6 +107,9 @@ bundle::BundleId SosNode::publish(util::Bytes payload, bundle::ContentType type)
   b.content = type;
   b.payload = std::move(payload);
   b.sign(creds_.signing_keypair);
+  // Forged-signature storm: a real signing pass, then one flipped byte —
+  // structurally valid, cryptographically worthless.
+  if (config_.forge_signatures) b.signature[0] ^= 0x5a;
   bundle::BundleId id = b.id();
   routing_->publish(std::move(b));
   return id;

@@ -39,6 +39,14 @@ struct SosConfig {
   util::SimTime resume_lifetime_s = 86400.0;  // one daily-routine cycle
   /// LRU bound on cached resumption secrets (distinct recurring peers).
   std::size_t resume_cache_capacity = 256;
+  /// Content-verification ablation (the unsigned epidemic baseline of the
+  /// disaster benches): received bundles are accepted without certificate
+  /// or signature checks. Transport handshakes are untouched.
+  bool verify_signatures = true;
+  /// Adversarial role (forged-signature storm): every published bundle is
+  /// signed and then its signature corrupted, so honest verifiers reject it
+  /// while unsigned deployments spread it for free.
+  bool forge_signatures = false;
 };
 
 class SosNode {
@@ -63,6 +71,17 @@ class SosNode {
   /// their original absolute deadlines.
   void attach(sim::Scheduler& sched, sim::MpcEndpoint& endpoint);
   bool attached() const;
+
+  /// Power cycle (fault-injection churn). Everything in RAM is lost:
+  /// sessions, handshake state, verify queue/caches, certificate cache,
+  /// session bookkeeping. `lose_store` additionally wipes the persisted
+  /// bundle store, `lose_resume_cache` the persisted resumption secrets
+  /// (kept=resume on next contact, lost=full handshake). Routing-scheme
+  /// internals (PRoPHET predictability, spray counters) deliberately
+  /// survive: they are small and the schemes have no reset seam — modeling
+  /// them as persisted app state. Advertising restarts from the surviving
+  /// store contents.
+  void reboot(bool lose_store, bool lose_resume_cache);
 
   /// Share a replay-wide memo of signature verdicts (see
   /// crypto::VerifyMemo); per-node counters are unaffected.

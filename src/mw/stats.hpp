@@ -38,6 +38,7 @@ struct NodeStats {
 
   // app layer
   std::uint64_t published = 0;
+  std::uint64_t reboots = 0;  // power cycles (fault-injection churn)
 };
 
 }  // namespace sos::mw

@@ -170,6 +170,10 @@ std::unique_ptr<TrajectoryMobility> daily_routine(std::size_t nodes, util::SimTi
     // classic path's stream is untouched).
     const std::size_t base_comm = i % communities;
     const bool bridge = communities > 1 && rng.chance(params.bridge_node_frac);
+    // Favorite second community for probabilistic bridge schedules; drawn
+    // only when the feature is on so the default stream is untouched.
+    std::size_t favorite_offset = 0;
+    if (bridge && params.bridge_favorite_p > 0) favorite_offset = 1 + rng.below(communities - 1);
     auto draw_home = [&]() -> Vec2 {
       if (communities == 1) return random_point(area, rng);
       double home_x = cell_w * params.community_spread_frac;
@@ -220,8 +224,16 @@ std::unique_ptr<TrajectoryMobility> daily_routine(std::size_t nodes, util::SimTi
       // stays with their own. The day's hotspot choices below draw from
       // this pool only, so a bridge node is the sole carrier of state
       // between communities.
-      const std::size_t day_comm =
-          bridge ? (base_comm + static_cast<std::size_t>(day)) % communities : base_comm;
+      std::size_t day_comm = base_comm;
+      if (bridge && !(params.bridge_weekday_only && weekend)) {
+        day_comm = (base_comm + static_cast<std::size_t>(day)) % communities;
+        // With a favorite second community, most commuting days target it;
+        // the rotation target is the fallback. The extra draw happens only
+        // for bridge nodes with the feature on (classic stream untouched).
+        if (params.bridge_favorite_p > 0 && rng.chance(params.bridge_favorite_p)) {
+          day_comm = (base_comm + favorite_offset) % communities;
+        }
+      }
       const std::vector<Vec2>& hotspots = pools[day_comm];
 
       // Wake and head out.

@@ -126,6 +126,17 @@ struct DailyRoutineParams {
   /// attends community (base + day) mod K on day `day`, carrying bundles
   /// (and causal dependencies) between communities across day boundaries.
   double bridge_node_frac = 0.0;
+  /// Bridge nodes commute on weekdays only, spending weekends in their home
+  /// community — the class/work framing of the weekly schedule. Off by
+  /// default (classic stream: commuting every attended day).
+  bool bridge_weekday_only = false;
+  /// > 0: each bridge node draws one favorite second community at setup and
+  /// commutes there with this probability (falling back to the day-rotation
+  /// target otherwise). Recurring pairwise cross-community contact is what
+  /// gives PRoPHET a stable delivery-predictability gradient to learn;
+  /// pure rotation visits every community uniformly and teaches it nothing.
+  /// 0 keeps the classic rotation (and the classic RNG stream).
+  double bridge_favorite_p = 0.0;
   /// Homes scatter within this fraction of their community cell, leaving a
   /// margin to the neighboring cells so overnight home pairs never span
   /// communities (margin >> radio range for any realistic area).

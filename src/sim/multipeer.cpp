@@ -1,5 +1,7 @@
 #include "sim/multipeer.hpp"
 
+#include "sim/faults.hpp"
+
 namespace sos::sim {
 
 // --- MpcEndpoint -----------------------------------------------------------
@@ -138,16 +140,19 @@ void MpcNetwork::do_invite(PeerId from, PeerId to) {
     ++failed_connections_;
     return;
   }
-  // Connection completes after the setup handshake, if still in range.
-  sched_.schedule_in(radio_.setup_time_s, [this, from, to] {
-    if (!in_range(from, to)) {
-      ++failed_connections_;
-      return;
-    }
+  // Connection completes after the setup handshake. A range break before
+  // then bumps the link generation (and counts the failure) at the break,
+  // making this timer a pure no-op — so discarding it, as an episode shard
+  // does past its last contact end, changes nothing.
+  Link& pending = link(from, to);
+  ++pending.pending_setups;
+  std::uint64_t generation = pending.generation;
+  sched_.schedule_in(radio_.setup_time_s, [this, from, to, generation] {
     Link& l = link(from, to);
-    if (l.connected) return;
+    if (l.generation != generation) return;  // range broke mid-setup; counted then
+    --l.pending_setups;
+    if (l.connected) return;  // the peer's parallel invite connected us first
     l.connected = true;
-    ++l.generation;
     l.busy_until = sched_.now();
     l.in_flight = 0;  // anything older was counted lost when the session dropped
     ++connections_;
@@ -168,6 +173,28 @@ void MpcNetwork::do_send(PeerId from, PeerId to, util::Bytes frame) {
   util::SimTime start = std::max(sched_.now(), l.busy_until);
   util::SimTime tx_time = static_cast<double>(frame.size()) * 8.0 / radio_.bandwidth_bps;
   l.busy_until = start + tx_time;
+
+  if (fault_plan_ && fault_plan_->frame_faults_active()) {
+    // The draw is keyed on (link, exact send timestamp, same-timestamp
+    // sequence number) — state both replay engines reproduce exactly,
+    // unlike a whole-run frame counter (episode shards rebuild the network,
+    // resetting any global counter mid-run).
+    util::SimTime now = sched_.now();
+    if (now != l.fault_last_t) {
+      l.fault_last_t = now;
+      l.fault_seq = 0;
+    }
+    FrameFault fault = fault_plan_->frame_fault(from, to, now, l.fault_seq++);
+    // Jitter models MAC retransmissions: the medium stays occupied longer,
+    // but delivery order is untouched (the session's counter nonces need
+    // the reliable-in-order contract).
+    l.busy_until += fault.extra_busy_s;
+    if (fault.drop) {
+      ++frames_dropped_fault_;
+      return;  // occupied the air, never arrived
+    }
+  }
+
   util::SimTime deliver_at = l.busy_until + radio_.latency_s;
   ++l.in_flight;
 
@@ -188,7 +215,18 @@ void MpcNetwork::do_send(PeerId from, PeerId to, util::Bytes frame) {
 
 void MpcNetwork::drop_session(PeerId a, PeerId b, bool notify) {
   auto it = links_.find(norm(a, b));
-  if (it == links_.end() || !it->second.connected) return;
+  if (it == links_.end()) return;
+  // Setups still in flight die with the link (range broke, or a teardown
+  // aborted them): count them now, so the failure totals never depend on
+  // whether the (now inert) completion timers ever fire — an episode shard
+  // may discard them with its scheduler. The generation bump is what makes
+  // those timers inert.
+  if (it->second.pending_setups > 0) {
+    failed_connections_ += it->second.pending_setups;
+    it->second.pending_setups = 0;
+    ++it->second.generation;
+  }
+  if (!it->second.connected) return;
   it->second.connected = false;
   ++it->second.generation;  // invalidates in-flight frames
   // Frames on the air die with the session; count them now rather than when

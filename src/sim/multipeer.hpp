@@ -32,6 +32,7 @@ using PeerId = std::uint32_t;
 /// Plain-text key/value advertisement (paper: UserID -> MessageNumber).
 using DiscoveryInfo = std::map<std::string, std::string>;
 
+class FaultPlan;
 class MpcNetwork;
 
 /// Per-device endpoint handle. Callbacks are invoked from scheduler events.
@@ -97,19 +98,28 @@ class MpcNetwork {
   /// Wire sniffer for security tests: sees every frame as transmitted.
   std::function<void(PeerId from, PeerId to, const util::Bytes&)> on_wire_frame;
 
+  /// Inject per-frame faults (loss/jitter/grayhole drops) from a compiled
+  /// fault plan. The plan must outlive the network; nullptr disables
+  /// injection. Drops are counted in frames_dropped_fault() at send time.
+  void set_fault_plan(const FaultPlan* plan) { fault_plan_ = plan; }
+
   // --- aggregate statistics (overhead metrics for the benches) -----------
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t frames_delivered() const { return frames_delivered_; }
   std::uint64_t frames_lost() const { return frames_lost_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t connections_established() const { return connections_; }
-  /// NOTE: unlike every counter above, this one is NOT identical between
-  /// the single-scheduler and episode-partitioned replay engines: a setup
-  /// completion scheduled within setup_time_s of an episode's last contact
-  /// end is discarded with the shard (it could only have counted a
-  /// failure — the contact is over). Keep it out of merged ScenarioResults
-  /// unless that straggler accounting is made drop-time exact first.
+  /// Invitation failures, counted the moment the failure is knowable: an
+  /// out-of-range or declined invite immediately, a setup interrupted by
+  /// range loss at the range-loss event (not when its now-inert completion
+  /// timer fires). Drop-time accounting makes this counter identical
+  /// between the single-scheduler and episode-partitioned replay engines —
+  /// a shard discarding stragglers past its last contact end discards only
+  /// no-op events.
   std::uint64_t connections_failed() const { return failed_connections_; }
+  /// Frames destroyed by injected link faults (loss profile or grayhole
+  /// radio), disjoint from frames_lost().
+  std::uint64_t frames_dropped_fault() const { return frames_dropped_fault_; }
 
  private:
   friend class MpcEndpoint;
@@ -119,6 +129,11 @@ class MpcNetwork {
     std::uint64_t generation = 0;   // invalidates in-flight traffic on drop
     util::SimTime busy_until = 0;   // serialization of the shared medium
     std::size_t in_flight = 0;
+    std::size_t pending_setups = 0;  // invites whose completion timer is armed
+    // Per-(link, exact timestamp) frame counter feeding the fault plan's
+    // deterministic draw chain; resets whenever the send time advances.
+    util::SimTime fault_last_t = -1.0;
+    std::uint64_t fault_seq = 0;
   };
 
   static std::pair<PeerId, PeerId> norm(PeerId a, PeerId b) {
@@ -135,6 +150,7 @@ class MpcNetwork {
   std::vector<MpcEndpoint> endpoints_;
   std::set<std::pair<PeerId, PeerId>> in_range_;
   std::map<std::pair<PeerId, PeerId>, Link> links_;
+  const FaultPlan* fault_plan_ = nullptr;
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_delivered_ = 0;
@@ -142,6 +158,7 @@ class MpcNetwork {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t connections_ = 0;
   std::uint64_t failed_connections_ = 0;
+  std::uint64_t frames_dropped_fault_ = 0;
 };
 
 }  // namespace sos::sim
