@@ -28,7 +28,12 @@ int main() {
   std::size_t undirected_pairs = u.edge_count() / 2;
   auto centers = graph::center(u);
   std::string center_str;
-  for (auto c : centers) center_str += (center_str.empty() ? "" : ",") + std::to_string(c + 1);
+  for (auto c : centers) {
+    // Appended in two steps: `"," + std::to_string(...)` trips GCC 12's
+    // -Wrestrict false positive (PR 105651) under -O2.
+    if (!center_str.empty()) center_str += ",";
+    center_str += std::to_string(c + 1);
+  }
 
   deploy::Table t({"metric (paper SecVI-A)", "paper", "measured"});
   t.add_row(deploy::compare_row("nodes n", 10, (double)g.node_count(), 0));
@@ -66,7 +71,7 @@ int main() {
     auto community = deploy::scenario_social_graph(config);
     std::size_t n = config.nodes;
     auto cu = community.undirected();
-    double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+    double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
     s.add_row({std::to_string(cell), std::to_string(n),
                std::to_string(community.edge_count()),
                deploy::fmt(static_cast<double>(cu.edge_count() / 2) / pairs),

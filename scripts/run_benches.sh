@@ -12,14 +12,19 @@
 # when run directly. SOS_EPISODE_JOBS / --episode-jobs (forwarded the same
 # way) additionally replays each cell on the episode-partitioned engine.
 #
-# With --check, no benches run: the script configures a TSan build
-# (-DSOS_SANITIZE=thread) in <build-dir>-tsan and runs the `sweep`- and
-# `fault`-labelled determinism tests under it, so data races in the sharded
-# replay engine and in the fault-injection layer fail loudly. It refuses to
-# report "clean" unless the suite binaries are actually TSan-instrumented
-# (stale cache / toolchain dropping the flag), and additionally re-runs the
-# randomized multi-community harness with SOS_EPISODE_JOBS=4 so the episode
-# worker pool is exercised at a fixed width:
+# With --check, no benches run: the script is the repo's full correctness
+# gate, in three stages.
+#   1. sos-lint: the determinism & constant-time static-analysis pass
+#      (tools/sos_lint) over src/, plus its rule-fixture selftest.
+#   2. ASan+UBSan: a combined -DSOS_SANITIZE=address,undefined build in
+#      <build-dir>-asan runs the ENTIRE ctest suite with UB findings fatal
+#      (-fno-sanitize-recover=undefined).
+#   3. TSan: a -DSOS_SANITIZE=thread build in <build-dir>-tsan runs the
+#      `sweep`-, `fault`-, and `mw`-labelled suites, then re-runs the
+#      randomized multi-community harness with SOS_EPISODE_JOBS=4 so the
+#      episode worker pool is exercised at a fixed width.
+# Each sanitizer stage refuses to report "clean" unless the suite binaries
+# are actually instrumented (stale cache / toolchain dropping the flag):
 #   scripts/run_benches.sh --check build
 set -euo pipefail
 
@@ -38,36 +43,67 @@ done
 build_dir="${args[0]:?usage: run_benches.sh [--jobs N] [--check] <build-dir> [repo-root]}"
 repo_root="${args[1]:-$(cd "$(dirname "$0")/.." && pwd)}"
 
-if [[ $check -eq 1 ]]; then
-  # Thread-sanitized run of the sweep/episode determinism suite. A separate
-  # build tree keeps the instrumented objects away from the bench build.
-  tsan_dir="${build_dir%/}-tsan"
-  echo "== TSan check: configuring $tsan_dir =="
-  cmake -B "$tsan_dir" -S "$repo_root" -DSOS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  # A --check run that silently built without sanitizers would bless racy
-  # code: verify the cache kept the flag...
-  if ! grep -q '^SOS_SANITIZE:STRING=thread$' "$tsan_dir/CMakeCache.txt"; then
-    echo "error: $tsan_dir was configured without SOS_SANITIZE=thread; refusing --check" >&2
-    exit 1
-  fi
-  cmake --build "$tsan_dir" -j "$(nproc)" --target sweep_test episode_test fault_test
-  # ...and that the suite binaries are actually instrumented.
-  for bin in sweep_test episode_test fault_test; do
+# require_instrumented <dir> <symbol-prefix> <bin>...: refuse to bless a
+# suite whose binaries silently built without the sanitizer runtime
+# (stale cache / toolchain dropping the flag).
+require_instrumented() {
+  local dir="$1" sym="$2" bin
+  shift 2
+  for bin in "$@"; do
     # Plain grep (not -q): under pipefail, -q would SIGPIPE nm on the first
     # match and fail the healthy case.
-    if ! nm "$tsan_dir/$bin" 2>/dev/null | grep '__tsan' > /dev/null; then
-      echo "error: $tsan_dir/$bin is not TSan-instrumented; refusing --check" >&2
+    if ! nm "$dir/$bin" 2>/dev/null | grep "$sym" > /dev/null; then
+      echo "error: $dir/$bin is not ${sym}-instrumented; refusing --check" >&2
       exit 1
     fi
   done
-  echo "== TSan check: ctest -L sweep =="
-  ctest --test-dir "$tsan_dir" -L sweep --output-on-failure
-  echo "== TSan check: ctest -L fault =="
-  ctest --test-dir "$tsan_dir" -L fault --output-on-failure
+}
+
+# require_cache_flag <dir> <value>: the configured cache must carry the
+# requested SOS_SANITIZE value or the build is not the one we think it is.
+require_cache_flag() {
+  if ! grep -q "^SOS_SANITIZE:STRING=$2\$" "$1/CMakeCache.txt"; then
+    echo "error: $1 was configured without SOS_SANITIZE=$2; refusing --check" >&2
+    exit 1
+  fi
+}
+
+if [[ $check -eq 1 ]]; then
+  # -- stage 1: static analysis ---------------------------------------------
+  echo "== lint: sos-lint over src/ + rule fixtures =="
+  python3 "$repo_root/tools/sos_lint/sos_lint.py" --root "$repo_root"
+  python3 "$repo_root/tools/sos_lint/sos_lint.py" --root "$repo_root" --selftest
+
+  # -- stage 2: ASan+UBSan over the entire suite ----------------------------
+  # Separate build trees keep instrumented objects away from the bench build.
+  asan_dir="${build_dir%/}-asan"
+  echo "== ASan+UBSan check: configuring $asan_dir =="
+  cmake -B "$asan_dir" -S "$repo_root" -DSOS_SANITIZE=address,undefined \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  require_cache_flag "$asan_dir" "address,undefined"
+  cmake --build "$asan_dir" -j "$(nproc)"
+  require_instrumented "$asan_dir" __asan mw_test sweep_test episode_test fault_test
+  require_instrumented "$asan_dir" __ubsan mw_test sweep_test episode_test fault_test
+  echo "== ASan+UBSan check: full ctest suite =="
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir "$asan_dir" --output-on-failure
+
+  # -- stage 3: TSan over the concurrency-bearing suites --------------------
+  tsan_dir="${build_dir%/}-tsan"
+  echo "== TSan check: configuring $tsan_dir =="
+  cmake -B "$tsan_dir" -S "$repo_root" -DSOS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  require_cache_flag "$tsan_dir" thread
+  cmake --build "$tsan_dir" -j "$(nproc)" --target sweep_test episode_test fault_test \
+        bundle_test fastpath_test mw_test sim_test
+  require_instrumented "$tsan_dir" __tsan sweep_test episode_test fault_test mw_test
+  for label in sweep fault mw; do
+    echo "== TSan check: ctest -L $label =="
+    ctest --test-dir "$tsan_dir" -L "$label" --output-on-failure
+  done
   echo "== TSan check: randomized multi-community harness, SOS_EPISODE_JOBS=4 =="
   SOS_EPISODE_JOBS=4 "$tsan_dir/episode_test" \
     --gtest_filter='RandomizedDeterminism.*'
-  echo "TSan sweep + fault suites clean"
+  echo "lint + ASan/UBSan full suite + TSan sweep/fault/mw suites clean"
   exit 0
 fi
 

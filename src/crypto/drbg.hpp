@@ -12,6 +12,11 @@ namespace sos::crypto {
 class Drbg {
  public:
   explicit Drbg(util::ByteView seed);
+  Drbg(const Drbg&) = default;
+  Drbg& operator=(const Drbg&) = default;
+  Drbg(Drbg&&) = default;
+  Drbg& operator=(Drbg&&) = default;
+  ~Drbg() { util::secure_wipe(key_, sizeof(key_)); }
 
   /// Fill `out` with the next `len` pseudo-random bytes.
   void generate(std::uint8_t* out, std::size_t len);

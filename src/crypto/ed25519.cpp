@@ -79,6 +79,8 @@ bool ed25519_verify(const EdPublicKey& pub, util::ByteView msg, const EdSignatur
   GeP3 r = ge_double_scalarmult_base_vartime(s.data(), ge_neg(a), k.data());
   std::uint8_t r_enc[32];
   ge_tobytes(r_enc, r);
+  // sos-lint: allow(memcmp-public) both operands are public: the recomputed
+  // point encoding and the signature's R half straight off the wire.
   return std::memcmp(r_enc, sig.data(), 32) == 0;
 }
 
@@ -111,6 +113,8 @@ bool ed25519_verify_batch(const std::vector<EdBatchItem>& items, std::vector<boo
     // non-canonical R must not slip through the point-level batch check.
     std::uint8_t r_reenc[32];
     ge_tobytes(r_reenc, r[i]);
+    // sos-lint: allow(memcmp-public) canonicality check on public data: the
+    // re-encoded R point vs the wire signature bytes.
     if (std::memcmp(r_reenc, items[i].sig.data(), 32) != 0) return fallback();
     k[i] = challenge(items[i].sig.data(), items[i].pub, items[i].msg);
   }

@@ -22,6 +22,17 @@ using EdSignature = std::array<std::uint8_t, kEdSignatureSize>;
 /// Private key material: the RFC 8032 32-byte seed plus cached expansion.
 class Ed25519Keypair {
  public:
+  Ed25519Keypair() = default;
+  Ed25519Keypair(const Ed25519Keypair&) = default;
+  Ed25519Keypair& operator=(const Ed25519Keypair&) = default;
+  Ed25519Keypair(Ed25519Keypair&&) = default;
+  Ed25519Keypair& operator=(Ed25519Keypair&&) = default;
+  ~Ed25519Keypair() {
+    util::secure_wipe(seed_);
+    util::secure_wipe(scalar_);
+    util::secure_wipe(prefix_);
+  }
+
   /// Deterministically derive a keypair from a 32-byte seed.
   static Ed25519Keypair from_seed(const EdSeed& seed);
 

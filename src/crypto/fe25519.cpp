@@ -292,6 +292,8 @@ bool fe_equal(const Fe& a, const Fe& b) {
   std::uint8_t sa[32], sb[32];
   fe_tobytes(sa, a);
   fe_tobytes(sb, b);
+  // sos-lint: allow(memcmp-public) every fe_equal caller compares public
+  // curve coordinates during verification; no secret scalar reaches here.
   return std::memcmp(sa, sb, 32) == 0;
 }
 

@@ -11,7 +11,9 @@ typename Hash::Digest hmac_impl(util::ByteView key, util::ByteView msg) {
   if (key.size() > Hash::kBlockSize) {
     auto d = Hash::hash(key);
     std::memcpy(k, d.data(), d.size());
-  } else {
+  } else if (!key.empty()) {
+    // Empty keys are legal (HKDF-Extract with no salt): memcpy from a
+    // null data() pointer is UB even at size 0.
     std::memcpy(k, key.data(), key.size());
   }
   std::uint8_t ipad[Hash::kBlockSize], opad[Hash::kBlockSize];

@@ -77,6 +77,9 @@ void Poly1305::blocks(const std::uint8_t* data, std::size_t len, std::uint32_t h
 }
 
 void Poly1305::update(util::ByteView data) {
+  // An empty view may carry a null data() pointer, and memcpy from null is
+  // UB even at size 0.
+  if (data.empty()) return;
   std::size_t off = 0;
   if (buf_len_ > 0) {
     std::size_t take = std::min<std::size_t>(16 - buf_len_, data.size());

@@ -74,6 +74,9 @@ void Sha512::compress(const std::uint8_t* block) {
 }
 
 void Sha512::update(util::ByteView data) {
+  // An empty view may carry a null data() pointer, and memcpy from null is
+  // UB even at size 0.
+  if (data.empty()) return;
   total_len_ += data.size();
   std::size_t off = 0;
   if (buf_len_ > 0) {

@@ -60,6 +60,9 @@ class VerifyMemo {
   };
   struct Shard {
     mutable std::mutex mu;
+    // sos-lint audit (unordered-iteration): this map is lookup/insert only —
+    // nothing iterates it, so hash order can never reach the metrics or
+    // report bytes. size() sums bucket counts, which are order-independent.
     std::unordered_map<Key, bool, KeyHash> verdicts;
   };
 

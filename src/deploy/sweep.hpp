@@ -41,7 +41,7 @@ struct ScenarioVariant {
   bool verify_signatures = true;
   /// Variant-level fault plan override; unset keeps the cell config's plan.
   /// Validated (with everything else) up front by SweepRunner::run.
-  std::optional<sim::FaultPlanConfig> faults;
+  std::optional<sim::FaultPlanConfig> faults = std::nullopt;
 };
 
 /// One grid cell: a world/workload config plus the variants sharing it.

@@ -246,6 +246,8 @@ void AdHocManager::handle_hello(sim::PeerId peer, util::ByteView payload) {
   // Directional keys: the lexicographically smaller ephemeral key sends
   // with the first half of the OKM.
   bool mine_first =
+      // sos-lint: allow(memcmp-public) tie-break ordering over the two
+      // ephemeral PUBLIC keys both sides already saw in plaintext Hellos.
       std::memcmp(s.eph_pub.data(), hello->ephemeral_pub.data(), s.eph_pub.size()) < 0;
   util::Bytes salt;
   if (mine_first) {
@@ -370,6 +372,8 @@ void AdHocManager::handle_resume(sim::PeerId peer, util::ByteView payload) {
   // Fresh session keys from both nonces under the cached secret — the same
   // directional-split rule as the full handshake, keyed on the nonces.
   bool mine_first =
+      // sos-lint: allow(memcmp-public) tie-break ordering over the two
+      // resume nonces, which travel in plaintext Resume frames.
       std::memcmp(s.resume_nonce.data(), frame->nonce.data(), s.resume_nonce.size()) < 0;
   util::Bytes salt;
   if (mine_first) {

@@ -154,6 +154,18 @@ class AdHocManager {
 
  private:
   struct Session {
+    Session() = default;
+    Session(const Session&) = default;
+    Session& operator=(const Session&) = default;
+    Session(Session&&) = default;
+    Session& operator=(Session&&) = default;
+    ~Session() {
+      util::secure_wipe(eph_priv);
+      util::secure_wipe(resume_secret);
+      util::secure_wipe(send_key, sizeof(send_key));
+      util::secure_wipe(recv_key, sizeof(recv_key));
+    }
+
     crypto::X25519Key eph_priv{};
     crypto::X25519Key eph_pub{};
     bool hello_sent = false;
@@ -175,6 +187,13 @@ class AdHocManager {
 
   using Fingerprint = std::array<std::uint8_t, 32>;
   struct ResumeEntry {
+    ResumeEntry() = default;
+    ResumeEntry(const ResumeEntry&) = default;
+    ResumeEntry& operator=(const ResumeEntry&) = default;
+    ResumeEntry(ResumeEntry&&) = default;
+    ResumeEntry& operator=(ResumeEntry&&) = default;
+    ~ResumeEntry() { util::secure_wipe(secret); }
+
     std::array<std::uint8_t, 32> secret{};  // resumption master secret
     pki::Certificate cert;                  // peer cert from the full handshake
     util::SimTime established_at = 0;       // time of that full handshake

@@ -99,10 +99,10 @@ class MessageManager {
     sim::PeerId peer;
     bundle::Bundle bundle;
     pki::Certificate cert;
-    std::uint32_t spray_copies;
+    std::uint32_t spray_copies = 0;
     // Peers whose copy of the same bundle was deduplicated onto this entry;
     // if `peer`'s session drops before the flush, one of them inherits it.
-    std::vector<sim::PeerId> also_offered_by;
+    std::vector<sim::PeerId> also_offered_by{};
   };
 
   AdHocManager& adhoc_;

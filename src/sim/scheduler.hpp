@@ -67,6 +67,10 @@ class Scheduler {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // sos-lint audit (unordered-iteration): both sets are membership-only
+  // (contains/insert/erase); event order comes solely from the
+  // (time, id)-ordered priority queue above, so hash order never leaks
+  // into the trace.
   std::unordered_set<EventId> queued_;     // ids currently in the queue
   std::unordered_set<EventId> cancelled_;  // subset of queued_
   util::SimTime now_ = 0.0;

@@ -93,8 +93,17 @@ std::optional<Bytes> base32_decode(std::string_view s) {
 bool ct_equal(ByteView a, ByteView b) {
   if (a.size() != b.size()) return false;
   std::uint8_t diff = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  for (std::size_t i = 0; i < a.size(); ++i)
+    diff = static_cast<std::uint8_t>(diff | (a[i] ^ b[i]));
   return diff == 0;
+}
+
+void secure_wipe(void* p, std::size_t n) {
+  // A volatile pointer walk is the portable equivalent of explicit_bzero:
+  // the qualified accesses are observable behaviour, so the stores survive
+  // dead-store elimination even when the object is about to die.
+  volatile std::uint8_t* vp = static_cast<volatile std::uint8_t*>(p);
+  for (std::size_t i = 0; i < n; ++i) vp[i] = 0;
 }
 
 void append(Bytes& dst, ByteView src) {

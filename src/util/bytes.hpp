@@ -36,6 +36,17 @@ std::optional<Bytes> base32_decode(std::string_view s);
 /// Constant-time equality for MACs/keys: always touches every byte.
 bool ct_equal(ByteView a, ByteView b);
 
+/// Zeroize secret material in a way the optimizer cannot elide (dead-store
+/// elimination would otherwise delete a plain memset before free). Key
+/// structs call this from their destructors; the sos-lint zeroize-secret
+/// rule enforces that discipline statically.
+void secure_wipe(void* p, std::size_t n);
+
+template <std::size_t N>
+void secure_wipe(std::array<std::uint8_t, N>& a) {
+  secure_wipe(a.data(), a.size());
+}
+
 /// Append `src` to `dst`.
 void append(Bytes& dst, ByteView src);
 

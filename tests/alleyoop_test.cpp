@@ -122,7 +122,7 @@ TEST(Cloud, PushPullRespectsFollowGraph) {
   sa::CloudService cloud;
   auto alice = sp::user_id_from_name("alice");
   auto bob = sp::user_id_from_name("bob");
-  auto carol = sp::user_id_from_name("carol");
+  [[maybe_unused]] auto carol = sp::user_id_from_name("carol");
   cloud.push_posts({make_post("alice", 1), make_post("alice", 2), make_post("carol", 1)});
   cloud.push_actions({{sa::ActionKind::Follow, bob, alice, 0}});
   auto pulled = cloud.pull_posts(bob, {});

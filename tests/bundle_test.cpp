@@ -117,7 +117,11 @@ class BundleCodecSweep : public ::testing::TestWithParam<int> {};
 TEST_P(BundleCodecSweep, RandomPayloadRoundTrip) {
   su::Rng rng(GetParam());
   sb::Bundle b;
-  b.origin = sp::user_id_from_name("u" + std::to_string(GetParam()));
+  // Two-step concat: `"u" + std::to_string(...)` trips GCC 12's -Wrestrict
+  // false positive (PR 105651) when inlined under -O2.
+  std::string origin_name = "u";
+  origin_name += std::to_string(GetParam());
+  b.origin = sp::user_id_from_name(origin_name);
   b.msg_num = static_cast<std::uint32_t>(rng.next());
   b.creation_ts = rng.uniform(0, 1e6);
   b.lifetime_s = static_cast<std::uint32_t>(rng.below(100000));

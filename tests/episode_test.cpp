@@ -441,7 +441,8 @@ TEST(EpisodeReplay, BundleRelaysAcrossEpisodeBoundary) {
   // first posts: (0,1) at 70000..70600, (1,2) at 75000..75600. No (0,2)
   // contact ever: delivery requires the cross-episode relay through 1.
   std::vector<ss::Trajectory> parked(3);
-  for (std::size_t i = 0; i < 3; ++i) parked[i].add(0.0, {100.0 * i, 0.0});
+  for (std::size_t i = 0; i < 3; ++i)
+    parked[i].add(0.0, {100.0 * static_cast<double>(i), 0.0});
   sd::ScenarioWorld world{ss::TrajectoryMobility(std::move(parked)),
                           ss::ContactTrace{}};
   ASSERT_TRUE(world.trace.add({70000, 70600, 0, 1}));

@@ -156,7 +156,9 @@ TEST(FaultPlanFloodTimes, OnlyAdversariesFloodAndDownWindowsFilter) {
   EXPECT_GT(times.size(), 20u);  // ~60 expected
   for (std::size_t i = 0; i < times.size(); ++i) {
     EXPECT_LT(times[i], 3600.0);
-    if (i > 0) EXPECT_GE(times[i], times[i - 1]);
+    if (i > 0) {
+      EXPECT_GE(times[i], times[i - 1]);
+    }
   }
   // Honest nodes never flood.
   ss::FaultPlan honest(ss::FaultPlanConfig{}, 3, 4);

@@ -162,8 +162,12 @@ TEST(Integration, EpidemicDominatesInterestOnRandomSchedules) {
     auto run = [&](const std::string& scheme) {
       Bed bed(5, scheme);
       for (auto [i, j] : follows) bed.nodes[i]->follow(bed.nodes[j]->user_id());
-      for (std::size_t i = 0; i < 5; ++i)
-        bed.nodes[i]->publish(su::to_bytes("m" + std::to_string(i)));
+      for (std::size_t i = 0; i < 5; ++i) {
+        // Two-step concat: see bundle_test.cpp on GCC 12 PR 105651.
+        std::string msg = "m";
+        msg += std::to_string(i);
+        bed.nodes[i]->publish(su::to_bytes(msg));
+      }
       for (auto [a, b] : meetings) bed.meet(a, b);
       std::size_t total = 0;
       for (auto d : bed.delivered) total += d;

@@ -1,0 +1,23 @@
+// sos-lint fixture: MUST pass [banned-entropy].
+// Seed-derived randomness, `time` as an ordinary identifier, and one
+// justified exemption. Not compiled — parsed by the linter.
+#include <cstdint>
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+std::uint64_t cell_seed(std::uint64_t base, std::uint64_t cell) {
+  return derive_seed(base, cell);  // splitmix64 over the scenario seed
+}
+
+void advance(double time);  // `time` as identifier, not a call: fine
+
+double step(double time) {
+  advance(time);
+  return time + 1.0;
+}
+
+long boot_stamp() {
+  // sos-lint: allow(banned-entropy) operator-facing log banner only; the
+  // value never reaches metrics, wire bytes, traces, or reports.
+  return time(nullptr);
+}

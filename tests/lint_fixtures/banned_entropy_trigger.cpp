@@ -1,0 +1,22 @@
+// sos-lint fixture: MUST trigger [banned-entropy].
+// Ambient entropy / wall-clock sources break seed-determinism: two runs of
+// the same scenario would diverge. Not compiled — parsed by the linter.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned jitter_ms() {
+  return static_cast<unsigned>(std::rand()) % 100u;  // finding: rand
+}
+
+unsigned pick_seed() {
+  std::random_device rd;  // finding: hardware entropy
+  return rd();
+}
+
+long stamp_now() {
+  auto now = std::chrono::system_clock::now();  // finding: wall clock
+  (void)now;
+  return time(nullptr);  // finding: libc wall clock
+}

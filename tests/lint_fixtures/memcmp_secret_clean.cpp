@@ -1,0 +1,20 @@
+// sos-lint fixture: MUST pass [memcmp-secret].
+// Constant-time comparison for secrets; raw memcmp only on public data
+// with a justified annotation. Not compiled — parsed by the linter.
+#include <array>
+#include <cstring>
+
+namespace util {
+bool ct_equal(const unsigned char* a, const unsigned char* b, unsigned n);
+}
+
+bool proof_matches(const unsigned char* expect_mac,
+                   const unsigned char* got_mac) {
+  return util::ct_equal(expect_mac, got_mac, 32);  // constant time: fine
+}
+
+bool headers_equal(const unsigned char* a, const unsigned char* b) {
+  // sos-lint: allow(memcmp-public) frame headers travel in plaintext on
+  // the wire; both operands are attacker-visible already.
+  return std::memcmp(a, b, 4) == 0;
+}

@@ -1,0 +1,16 @@
+// sos-lint fixture: MUST trigger [memcmp-secret].
+// Early-exit comparison of secret material leaks a timing oracle: the
+// number of matching leading bytes sets the comparison's running time.
+// Not compiled — parsed by the linter.
+#include <array>
+#include <cstring>
+
+bool proof_matches(const unsigned char* expect_mac,
+                   const unsigned char* got_mac) {
+  return std::memcmp(expect_mac, got_mac, 32) == 0;  // finding: raw memcmp
+}
+
+bool resume_key_matches(const std::array<unsigned char, 32>& cached_secret,
+                        const std::array<unsigned char, 32>& offered) {
+  return cached_secret == offered;  // finding: operator== on a secret
+}

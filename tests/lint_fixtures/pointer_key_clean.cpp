@@ -1,0 +1,16 @@
+// sos-lint fixture: MUST pass [pointer-key].
+// Keying by a stable id (pointer *values* are fine), plus one justified
+// exemption. Not compiled — parsed by the linter.
+#include <cstdint>
+#include <map>
+
+struct Node {
+  std::uint64_t id = 0;
+};
+
+struct Registry {
+  std::map<std::uint64_t, Node*> node_by_id;  // pointer value, stable key
+  // sos-lint: allow(pointer-key) scratch index inside one pass; it is
+  // never iterated, only probed, so address order cannot reach output.
+  std::map<Node*, int> scratch_rank;
+};

@@ -1,0 +1,15 @@
+// sos-lint fixture: MUST trigger [pointer-key].
+// An ordered container keyed by pointer iterates in allocation-address
+// order — nondeterministic across runs even with identical seeds. Not
+// compiled — parsed by the linter.
+#include <map>
+#include <set>
+
+struct Node {
+  int id = 0;
+};
+
+struct Registry {
+  std::map<Node*, int> rank_by_node;  // finding: pointer-keyed map
+  std::set<const Node*> active;       // finding: pointer-keyed set
+};

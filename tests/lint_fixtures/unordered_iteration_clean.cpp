@@ -1,0 +1,26 @@
+// sos-lint fixture: MUST pass [unordered-iteration].
+// Ordered-container iteration, unordered membership tests without
+// iteration, and a justified exemption are all fine. Not compiled.
+#include <map>
+#include <unordered_set>
+
+void consume(int v);
+
+void tally_sorted(const std::map<int, int>& counts) {
+  for (const auto& kv : counts) consume(kv.second);  // ordered: fine
+}
+
+bool seen_before(const std::unordered_set<int>& seen, int id) {
+  return seen.count(id) > 0;  // membership only, no iteration: fine
+}
+
+void drain_in_any_order(std::unordered_set<int>& pending) {
+  // sos-lint: allow(unordered-iteration) order-insensitive fold: every
+  // element is summed exactly once, so bucket order cannot reach output.
+  for (int v : pending) consume(v);
+}
+
+void emit_report() {
+  tally_sorted({});
+  seen_before({}, 1);
+}

@@ -1,0 +1,27 @@
+// sos-lint fixture: MUST trigger [unordered-iteration].
+// Iterating a hash table in code reachable from emission (in the fixture
+// config every function here is an emission root) leaks libstdc++ bucket
+// order into deterministic output. Not compiled — parsed by the linter.
+#include <unordered_map>
+#include <unordered_set>
+
+void consume(int v);
+
+void tally_counts(const std::unordered_map<int, int>& counts) {
+  std::unordered_map<int, int> histogram = counts;
+  for (const auto& kv : histogram) {  // finding: hash order reaches output
+    consume(kv.second);
+  }
+}
+
+void walk_members(const std::unordered_set<int>& members) {
+  std::unordered_set<int> live = members;
+  for (auto it = live.begin(); it != live.end(); ++it) {  // finding: same
+    consume(*it);
+  }
+}
+
+void emit_report() {
+  tally_counts({});
+  walk_members({});
+}

@@ -1,0 +1,25 @@
+// sos-lint fixture: MUST pass [zeroize-secret].
+// Key structs wipe their material in the destructor (or carry a justified
+// exemption). Not compiled — parsed by the linter.
+#include <array>
+#include <cstdint>
+
+namespace util {
+void secure_wipe(void* p, unsigned long n);
+}
+
+struct SessionKeys {
+  std::array<std::uint8_t, 32> secret{};
+  std::uint8_t send_key[32] = {0};
+
+  ~SessionKeys() {
+    util::secure_wipe(secret.data(), secret.size());
+    util::secure_wipe(send_key, sizeof(send_key));
+  }
+};
+
+struct PublicMirror {
+  // sos-lint: allow(zeroize-secret) holds the PUBLIC half only; the name
+  // matches the secret pattern but the bytes are published on the wire.
+  std::array<std::uint8_t, 32> master_fingerprint_key_{};
+};

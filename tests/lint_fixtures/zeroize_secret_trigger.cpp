@@ -1,0 +1,12 @@
+// sos-lint fixture: MUST trigger [zeroize-secret].
+// A struct holding key material with no zeroizing destructor leaves the
+// secret bytes readable in freed memory (core dumps, swap, reuse). Not
+// compiled — parsed by the linter.
+#include <array>
+#include <cstdint>
+
+struct SessionKeys {
+  std::array<std::uint8_t, 32> secret{};   // finding: never wiped
+  std::uint8_t send_key[32] = {0};
+  std::uint64_t counter = 0;
+};

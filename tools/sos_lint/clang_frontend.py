@@ -1,0 +1,94 @@
+"""Optional libclang frontend for sos-lint.
+
+When the ``clang.cindex`` Python bindings are importable (Debian/Ubuntu:
+``python3-clang`` + ``libclang1``), this frontend replaces the token
+scanner's function/call/iteration extraction with AST-exact facts; the
+line-oriented rules (annotations, banned tokens, zeroize membership)
+always come from the token layer, which needs no compiler.
+
+The build container this repo pins does not ship the bindings, so the
+module is a *gate*, not a hard dependency: ``available()`` is probed by
+the driver, ``--frontend clang`` fails with instructions when the probe
+fails, and ``--frontend auto`` (the default) silently uses the token
+frontend. Any per-file parse failure also falls back to the token model
+for that file — a broken TU must degrade coverage, never crash the lint
+gate. The fixture suite (ctest label ``lint``) runs with ``--frontend
+token`` explicitly so rule behaviour is pinned identically on machines
+with and without libclang.
+"""
+
+from __future__ import annotations
+
+from cxx_model import FileModel, Function, build_model
+
+_UNORDERED_SPELLINGS = ("unordered_map", "unordered_set",
+                        "unordered_multimap", "unordered_multiset")
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def build_model_clang(path: str, text: str, include_dirs: list[str]) -> FileModel:
+    """Token model with functions/calls/iterations re-derived from the AST.
+
+    Raises on import/parse errors; the driver catches and falls back.
+    """
+    from clang.cindex import CursorKind, Index, TranslationUnit
+
+    model = build_model(path, text)  # annotations / decls / line facts
+    index = Index.create()
+    tu = index.parse(
+        path,
+        args=["-std=c++20", "-xc++"] + [f"-I{d}" for d in include_dirs],
+        unsaved_files=[(path, text)],
+        options=TranslationUnit.PARSE_INCOMPLETE,
+    )
+
+    functions: list[Function] = []
+
+    def is_unordered_type(type_spelling: str) -> bool:
+        return any(u in type_spelling for u in _UNORDERED_SPELLINGS)
+
+    def walk_body(cursor, fn: Function) -> None:
+        for child in cursor.walk_preorder():
+            if child.kind == CursorKind.CALL_EXPR and child.spelling:
+                fn.calls.add(child.spelling)
+            if child.kind == CursorKind.CXX_FOR_RANGE_STMT:
+                kids = list(child.get_children())
+                if len(kids) >= 2 and is_unordered_type(kids[-2].type.spelling):
+                    fn.unordered_iterations.append(
+                        (child.location.line, kids[-2].type.spelling))
+
+    for cursor in tu.cursor.walk_preorder():
+        if cursor.location.file is None or cursor.location.file.name != path:
+            continue
+        if cursor.kind in (
+            CursorKind.FUNCTION_DECL,
+            CursorKind.CXX_METHOD,
+            CursorKind.CONSTRUCTOR,
+            CursorKind.DESTRUCTOR,
+        ) and cursor.is_definition():
+            parent = cursor.semantic_parent
+            qual = (
+                f"{parent.spelling}::{cursor.spelling}"
+                if parent is not None and parent.spelling
+                else cursor.spelling
+            )
+            fn = Function(
+                name=cursor.spelling,
+                qual=qual,
+                file=path,
+                line=cursor.location.line,
+                end_line=cursor.extent.end.line,
+            )
+            walk_body(cursor, fn)
+            functions.append(fn)
+
+    if functions:
+        model.functions = functions
+    return model

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""sos-lint: determinism & constant-time static analysis for this repo.
+
+The repo's headline guarantee — metrics, wire bytes, traces, and reports
+bitwise identical across replay engines, job counts, and memo configs —
+was only ever enforced dynamically (determinism pins under TSan). This
+tool enforces the *static* half: no nondeterministic iteration or ambient
+entropy on emission-reachable paths, and constant-time / zeroizing
+discipline for secret material. Rule catalog: rules.py. Config:
+lint_config.py + sos_lint.toml.
+
+Usage:
+  sos_lint.py --root <repo>                 # lint src/ (CMake `lint` target)
+  sos_lint.py --root <repo> --selftest      # run tests/lint_fixtures
+  sos_lint.py --root <repo> path1.cpp ...   # lint specific files
+  sos_lint.py --frontend {auto,token,clang} # AST frontend selection
+
+Exit codes: 0 clean, 1 findings (or fixture mismatch), 2 usage/internal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import clang_frontend  # noqa: E402
+from cxx_model import FileModel, build_model  # noqa: E402
+from lint_config import LintConfig, load_config  # noqa: E402
+from rules import ALL_RULES, run_rules  # noqa: E402
+
+
+def _load_models(root: Path, paths: list[Path], frontend: str) -> list[FileModel]:
+    use_clang = False
+    if frontend == "clang":
+        if not clang_frontend.available():
+            print("sos-lint: error: --frontend clang requested but the "
+                  "clang.cindex Python bindings are not importable.\n"
+                  "  This container gates (not installs) the dependency; "
+                  "on Debian/Ubuntu: apt install python3-clang libclang1.\n"
+                  "  Falling back is NOT done for an explicit request — "
+                  "use --frontend token or auto.", file=sys.stderr)
+            raise SystemExit(2)
+        use_clang = True
+    elif frontend == "auto":
+        use_clang = clang_frontend.available()
+
+    models = []
+    include_dirs = [str(root / "src")]
+    for p in paths:
+        rel = p.relative_to(root).as_posix() if p.is_absolute() else p.as_posix()
+        text = p.read_text(encoding="utf-8", errors="replace")
+        if use_clang:
+            try:
+                models.append(clang_frontend.build_model_clang(rel, text, include_dirs))
+                continue
+            except Exception as e:  # degrade, never crash the gate
+                print(f"sos-lint: warning: clang frontend failed on {rel} "
+                      f"({e}); using token frontend", file=sys.stderr)
+        models.append(build_model(rel, text))
+    return models
+
+
+def _scan_paths(root: Path, cfg: LintConfig) -> list[Path]:
+    out: list[Path] = []
+    for sp in cfg.scan_paths:
+        base = root / sp
+        if not base.exists():
+            continue
+        for ext in cfg.extensions:
+            out.extend(sorted(base.rglob(f"*{ext}")))
+    return out
+
+
+def lint(root: Path, cfg: LintConfig, files: list[Path], frontend: str) -> int:
+    models = _load_models(root, files, frontend)
+    findings = run_rules(models, cfg)
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"sos-lint: {len(findings)} finding(s) across "
+              f"{len({f.file for f in findings})} file(s)")
+        return 1
+    print(f"sos-lint: clean ({len(models)} files, "
+          f"{sum(len(m.functions) for m in models)} functions)")
+    return 0
+
+
+def selftest(root: Path, frontend: str) -> int:
+    """Run the rule fixtures: tests/lint_fixtures/<rule>_trigger.cpp must
+    produce >=1 finding of exactly <rule>; <rule>_clean.cpp must produce
+    none at all. A rule that stops firing therefore fails ctest -L lint."""
+    fixture_dir = root / "tests" / "lint_fixtures"
+    if not fixture_dir.is_dir():
+        print(f"sos-lint: selftest: no fixture dir at {fixture_dir}",
+              file=sys.stderr)
+        return 2
+    cfg = LintConfig()
+    # Fixtures are self-contained single files: they play the role of both
+    # emission code and crypto code so every rule can fire inside one file.
+    cfg.emission_paths = ["tests/lint_fixtures"]
+    cfg.crypto_paths = ["tests/lint_fixtures"]
+    cfg.entropy_allow_paths = []
+
+    failures = []
+    cases = sorted(fixture_dir.glob("*.cpp"))
+    if not cases:
+        print("sos-lint: selftest: fixture dir is empty", file=sys.stderr)
+        return 2
+    covered: set[str] = set()
+    for path in cases:
+        stem = path.stem
+        if stem.endswith("_trigger"):
+            rule, expect_hit = stem[:-len("_trigger")].replace("_", "-"), True
+        elif stem.endswith("_clean"):
+            rule, expect_hit = stem[:-len("_clean")].replace("_", "-"), False
+        else:
+            failures.append(f"{path.name}: fixture names must end in "
+                            "_trigger.cpp or _clean.cpp")
+            continue
+        if rule not in ALL_RULES:
+            failures.append(f"{path.name}: unknown rule '{rule}'")
+            continue
+        covered.add(rule)
+        models = _load_models(root, [path], frontend)
+        findings = run_rules(models, cfg)
+        if expect_hit:
+            mine = [f for f in findings if f.rule == rule]
+            stray = [f for f in findings if f.rule not in (rule, )]
+            if not mine:
+                failures.append(f"{path.name}: expected a '{rule}' finding, "
+                                "got none — the rule has stopped firing")
+            if stray:
+                failures.append(
+                    f"{path.name}: stray findings {[f.render() for f in stray]}"
+                    " — trigger fixtures must trip exactly their own rule")
+            # FileCheck-style line pins: every `// finding:`-marked line
+            # must fire, so a rule that loses one detection *form* (e.g.
+            # memcmp but not operator==) fails even while its sibling form
+            # still fires.
+            expected_lines = {
+                n for n, line in enumerate(models[0].raw_lines, start=1)
+                if "// finding" in line
+            }
+            got_lines = {f.line for f in mine}
+            for n in sorted(expected_lines - got_lines):
+                failures.append(f"{path.name}:{n}: marked '// finding' but "
+                                f"'{rule}' did not fire there")
+            for n in sorted(got_lines - expected_lines):
+                failures.append(f"{path.name}:{n}: unexpected '{rule}' "
+                                "finding on an unmarked line")
+        else:
+            if findings:
+                failures.append(
+                    f"{path.name}: expected clean, got "
+                    f"{[f.render() for f in findings]}")
+    missing = set(ALL_RULES) - covered
+    if missing:
+        failures.append("rules without fixtures: " + ", ".join(sorted(missing)))
+
+    if failures:
+        print("sos-lint selftest FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"sos-lint selftest passed: {len(cases)} fixtures, "
+          f"{len(covered)} rules covered")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", type=Path, default=Path.cwd(),
+                    help="repository root (default: cwd)")
+    ap.add_argument("--config", type=Path, default=None,
+                    help="TOML config overriding sos_lint.toml")
+    ap.add_argument("--frontend", choices=["auto", "token", "clang"],
+                    default="auto",
+                    help="C++ frontend: libclang AST when available (auto), "
+                         "token scanner (token), or require libclang (clang)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the rule fixtures in tests/lint_fixtures")
+    ap.add_argument("files", nargs="*", type=Path,
+                    help="specific files to lint (default: configured scan paths)")
+    args = ap.parse_args(argv)
+
+    root = args.root.resolve()
+    if args.selftest:
+        # Pin fixture behaviour to the frontend every machine has.
+        frontend = args.frontend if args.frontend != "auto" else "token"
+        return selftest(root, frontend)
+
+    cfg = load_config(root, args.config)
+    files = [p.resolve() for p in args.files] if args.files else _scan_paths(root, cfg)
+    if not files:
+        print("sos-lint: nothing to scan", file=sys.stderr)
+        return 2
+    return lint(root, cfg, files, args.frontend)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
