@@ -23,21 +23,21 @@ bool VerifyMemo::verify(const EdPublicKey& pub, util::ByteView msg, const EdSign
   Key key = key_of(pub, msg, sig);
   Shard& s = shard(key);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    util::MutexLock lock(s.mu);
     auto it = s.verdicts.find(key);
     if (it != s.verdicts.end()) return it->second;
   }
   // Compute outside the lock: the verdict is a pure function of the triple,
   // so two threads racing on the same key store the same value.
   bool ok = ed25519_verify(pub, msg, sig);
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   if (s.verdicts.size() < per_shard_cap_) s.verdicts.emplace(key, ok);
   return ok;
 }
 
 std::optional<bool> VerifyMemo::lookup(const Key& key) const {
   const Shard& s = shard(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   auto it = s.verdicts.find(key);
   if (it == s.verdicts.end()) return std::nullopt;
   return it->second;
@@ -45,14 +45,14 @@ std::optional<bool> VerifyMemo::lookup(const Key& key) const {
 
 void VerifyMemo::store(const Key& key, bool ok) {
   Shard& s = shard(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   if (s.verdicts.size() < per_shard_cap_) s.verdicts.insert_or_assign(key, ok);
 }
 
 std::size_t VerifyMemo::size() const {
   std::size_t n = 0;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    util::MutexLock lock(s.mu);
     n += s.verdicts.size();
   }
   return n;

@@ -13,11 +13,11 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "crypto/ed25519.hpp"
+#include "util/mutex.hpp"
 
 namespace sos::crypto {
 
@@ -59,11 +59,11 @@ class VerifyMemo {
     }
   };
   struct Shard {
-    mutable std::mutex mu;
+    mutable util::Mutex mu;
     // sos-lint audit (unordered-iteration): this map is lookup/insert only —
     // nothing iterates it, so hash order can never reach the metrics or
     // report bytes. size() sums bucket counts, which are order-independent.
-    std::unordered_map<Key, bool, KeyHash> verdicts;
+    std::unordered_map<Key, bool, KeyHash> verdicts SOS_GUARDED_BY(mu);
   };
 
   Shard& shard(const Key& k) { return shards_[k[31] & (kShards - 1)]; }

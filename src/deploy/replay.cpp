@@ -3,7 +3,6 @@
 #include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <stdexcept>
@@ -16,6 +15,7 @@
 #include "sim/episode.hpp"
 #include "sim/multipeer.hpp"
 #include "sim/scheduler.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace sos::deploy {
@@ -53,6 +53,24 @@ struct EngineState {
   std::vector<util::SimTime>& resume_at;       // per-node timeline progress
   std::vector<EpisodeOut>& outs;
   double horizon;
+};
+
+/// The Kahn-worker queue: every episode worker (the calling thread plus any
+/// helpers borrowed from the WorkerBudget) coordinates through this state,
+/// all of it guarded by `mu` — the annotations make "touched the ready set
+/// without the lock" a clang -Wthread-safety compile error, not a TSan
+/// coin-flip. `dependents` is deliberately outside the guarded set: it is
+/// written once before any worker starts and read-only afterwards.
+struct KahnQueue {
+  util::Mutex mu;
+  std::condition_variable_any cv;
+  std::set<std::size_t> ready SOS_GUARDED_BY(mu);           // runnable episodes
+  std::vector<std::size_t> pending SOS_GUARDED_BY(mu);      // unmet deps per episode
+  std::size_t running SOS_GUARDED_BY(mu) = 0;               // episodes in flight
+  std::size_t done SOS_GUARDED_BY(mu) = 0;                  // episodes completed
+  std::vector<std::thread> helpers SOS_GUARDED_BY(mu);      // spawned workers
+  std::size_t borrowed SOS_GUARDED_BY(mu) = 0;              // budget tokens held
+  std::vector<std::vector<std::size_t>> dependents;         // reverse dep edges
 };
 
 void run_episode(const EngineState& st, std::size_t ei) {
@@ -226,13 +244,21 @@ ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
                  apps,   timelines, timeline_cursor, resume_at, outs,  horizon};
 
   // --- execute the episode DAG --------------------------------------------
-  std::vector<std::size_t> pending(episodes.size(), 0);
-  std::vector<std::vector<std::size_t>> dependents(episodes.size());
-  std::set<std::size_t> ready;
-  for (std::size_t i = 0; i < episodes.size(); ++i) {
-    pending[i] = episodes[i].deps.size();
-    for (std::size_t d : episodes[i].deps) dependents[d].push_back(i);
-    if (pending[i] == 0) ready.insert(i);
+  // One code path for serial and parallel execution: the calling thread is
+  // always a worker; helpers join it when jobs > 1 or the shared budget
+  // grants tokens. The ordered ready set makes the serial order identical
+  // to the old dedicated serial loop, and an uncontended MutexLock per
+  // episode is noise next to an episode's millisecond-scale replay.
+  KahnQueue q;
+  q.dependents.resize(episodes.size());
+  {
+    util::MutexLock lock(q.mu);
+    q.pending.resize(episodes.size(), 0);
+    for (std::size_t i = 0; i < episodes.size(); ++i) {
+      q.pending[i] = episodes[i].deps.size();
+      for (std::size_t d : episodes[i].deps) q.dependents[d].push_back(i);
+      if (q.pending[i] == 0) q.ready.insert(i);
+    }
   }
 
   std::size_t workers = replay.jobs;
@@ -241,77 +267,70 @@ ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
     workers = hw > 0 ? hw : 1;
   }
 
-  std::size_t done = 0;
-  if (workers <= 1 && replay.budget == nullptr) {
-    while (!ready.empty()) {
-      std::size_t i = *ready.begin();
-      ready.erase(ready.begin());
+  std::function<void()> worker;  // named so a worker can spawn another
+  worker = [&] {
+    util::MutexLock lock(q.mu);
+    for (;;) {
+      if (q.done == episodes.size()) return;
+      if (q.ready.empty()) {
+        if (q.running == 0) return;  // cycle guard: nothing can make progress
+        q.mu.wait(q.cv);
+        continue;
+      }
+      std::size_t i = *q.ready.begin();
+      q.ready.erase(q.ready.begin());
+      ++q.running;
+      lock.unlock();
       run_episode(st, i);
-      ++done;
-      for (std::size_t d : dependents[i]) {
-        if (--pending[d] == 0) ready.insert(d);
+      lock.lock();
+      --q.running;
+      ++q.done;
+      for (std::size_t d : q.dependents[i]) {
+        if (--q.pending[d] == 0) q.ready.insert(d);
       }
+      // Opportunistic growth: tokens freed by finished sweep cells can be
+      // picked up mid-run (the heavy cell usually starts while its grid
+      // siblings still hold theirs).
+      if (replay.budget != nullptr && q.ready.size() > 1 &&
+          q.helpers.size() + 1 < workers && replay.budget->acquire(1) == 1) {
+        ++q.borrowed;
+        q.helpers.emplace_back(worker);
+      }
+      q.cv.notify_all();
     }
-  } else {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t running = 0;
-    std::vector<std::thread> helpers;
-    std::size_t borrowed = 0;
+  };
 
-    std::function<void()> worker;  // named so a worker can spawn another
-    worker = [&] {
-      std::unique_lock<std::mutex> lock(mu);
-      for (;;) {
-        if (done == episodes.size()) return;
-        if (ready.empty()) {
-          if (running == 0) return;  // cycle guard: nothing can make progress
-          cv.wait(lock);
-          continue;
-        }
-        std::size_t i = *ready.begin();
-        ready.erase(ready.begin());
-        ++running;
-        lock.unlock();
-        run_episode(st, i);
-        lock.lock();
-        --running;
-        ++done;
-        for (std::size_t d : dependents[i]) {
-          if (--pending[d] == 0) ready.insert(d);
-        }
-        // Opportunistic growth: tokens freed by finished sweep cells can be
-        // picked up mid-run (the heavy cell usually starts while its grid
-        // siblings still hold theirs).
-        if (replay.budget != nullptr && ready.size() > 1 &&
-            helpers.size() + 1 < workers && replay.budget->acquire(1) == 1) {
-          ++borrowed;
-          helpers.emplace_back(worker);
-        }
-        cv.notify_all();
-      }
-    };
-
-    // One worker is this thread; the rest borrow from the shared budget
-    // when one is present (the sweep's thread allowance), else spawn up to
-    // the requested job count.
+  // One worker is this thread; the rest borrow from the shared budget when
+  // one is present (the sweep's thread allowance), else spawn up to the
+  // requested job count.
+  {
     std::size_t want = workers > 0 ? workers - 1 : 0;
+    util::MutexLock lock(q.mu);
     if (replay.budget != nullptr) {
-      borrowed = replay.budget->acquire(want);
-      want = borrowed;
+      q.borrowed = replay.budget->acquire(want);
+      want = q.borrowed;
     }
-    helpers.reserve(want);
-    for (std::size_t i = 0; i < want; ++i) helpers.emplace_back(worker);
-    worker();
-    {
-      // Wake helpers parked on an empty ready set so they observe done.
-      std::lock_guard<std::mutex> lock(mu);
-      cv.notify_all();
-    }
-    for (auto& t : helpers) t.join();
-    if (replay.budget != nullptr && borrowed > 0) replay.budget->release(borrowed);
+    q.helpers.reserve(want);
+    for (std::size_t i = 0; i < want; ++i) q.helpers.emplace_back(worker);
   }
-  if (done != episodes.size()) {
+  worker();
+  std::size_t completed = 0;
+  std::size_t borrowed = 0;
+  std::vector<std::thread> helpers;
+  {
+    // Wake helpers parked on an empty ready set so they observe done, and
+    // take ownership of the helper list: no helper can spawn another once
+    // done == episodes.size() (spawning requires finishing an episode), so
+    // the swapped-out vector is complete.
+    util::MutexLock lock(q.mu);
+    q.cv.notify_all();
+    helpers.swap(q.helpers);
+    completed = q.done;
+    borrowed = q.borrowed;
+  }
+  for (auto& t : helpers) t.join();
+  if (replay.budget != nullptr && borrowed > 0) replay.budget->release(borrowed);
+  if (completed != episodes.size()) {
     throw std::logic_error("episode graph failed to complete (dependency cycle?)");
   }
 

@@ -18,6 +18,14 @@ namespace sos::deploy {
 /// workers: a sweep hands its thread budget to one WorkerBudget; episode
 /// engines borrow extra workers from it and return them, so nested
 /// parallelism never oversubscribes the requested job count.
+///
+/// Concurrency contract (lock-free, so nothing here is SOS_GUARDED_BY):
+/// the pool is a single atomic counter and tokens are conserved by
+/// protocol — every acquire() return value must eventually be release()d
+/// by the same logical owner, and release() never invents tokens the
+/// owner did not hold. The donation path (a finished sweep cell releasing
+/// its own thread for still-running episode engines to borrow) relies on
+/// exactly this conservation; tests/sweep_test.cpp hammers it under TSan.
 class WorkerBudget {
  public:
   explicit WorkerBudget(std::size_t tokens) : available_(tokens) {}
@@ -34,6 +42,10 @@ class WorkerBudget {
     return 0;
   }
   void release(std::size_t n) { available_.fetch_add(n, std::memory_order_relaxed); }
+
+  /// Tokens currently unclaimed (leak/starvation assertions in tests; a
+  /// racing snapshot, exact only at quiescence).
+  std::size_t available() const { return available_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<std::size_t> available_;

@@ -80,6 +80,14 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) co
     for (std::size_t v = 0; v < cells[c].variants.size(); ++v) items.push_back({c, v});
 
   std::vector<CellResult> results(items.size());
+  // Concurrency audit (why nothing here is SOS_GUARDED_BY): every shared
+  // vector is sliced so each slot has exactly one writer — results[i] by the
+  // worker that claimed item i off the atomic counter, worlds/parallelism/
+  // episode_counts/memos[cell] by the call_once winner (losers block until
+  // the write is published by call_once's internal fence). Readers see those
+  // writes through call_once (same cell) or thread join (the merge below).
+  // The only mutexes on this path live inside VerifyMemo and the episode
+  // engine's KahnQueue, both annotated at their definitions.
   // Worlds are recorded lazily, once per cell, by whichever worker reaches
   // the cell first; call_once blocks that cell's other variants (not other
   // cells) until the recording is done. The same pass partitions the trace

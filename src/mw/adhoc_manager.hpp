@@ -249,13 +249,20 @@ class AdHocManager {
   std::map<sim::PeerId, Session> sessions_;
   bool started_ = false;               // advertising+browsing requested
   sim::DiscoveryInfo advert_info_;     // survives rebinding
+  // sos-lint: allow(seam-exempt) scenario-constant toggle: set before the
+  // run starts and never scheduler-coupled, so it transfers by value.
   bool verify_signatures_ = true;      // see set_verify_signatures
   crypto::VerifyMemo* verify_memo_ = nullptr;
 
   // Verified-bundle cache: id -> digest of (bundle signed bytes, bundle
   // signature, certificate body, certificate signature). LRU-bounded.
+  // sos-lint: allow(seam-exempt) pure value state (no scheduler or endpoint
+  // handles): the cache rides across shards inside the object untouched —
+  // exactly the behaviour the shard-crossing verify-cache tests pin.
   std::map<bundle::BundleId, VerifyCacheEntry> verify_cache_;
+  // sos-lint: allow(seam-exempt) value state paired with verify_cache_.
   std::list<bundle::BundleId> verify_lru_;  // front = most recently used
+  // sos-lint: allow(seam-exempt) scenario-constant bound, set at config time.
   std::size_t verify_cache_capacity_ = 4096;
 
   // Session-resumption cache: peer cert fingerprint -> resumption master

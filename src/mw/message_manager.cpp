@@ -1,6 +1,7 @@
 #include "mw/message_manager.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace sos::mw {
 
@@ -74,6 +75,7 @@ MessageManager::~MessageManager() {
   // destruction would be use-after-free. The callbacks installed on the
   // ad hoc manager capture `this` too and it may outlive us.
   if (verify_flush_scheduled_ && adhoc_.attached()) {
+    assert(verify_flush_event_ != sim::kInvalidEventId);
     adhoc_.scheduler().cancel(verify_flush_event_);
   }
   adhoc_.on_peer_advert = nullptr;
@@ -86,6 +88,7 @@ void MessageManager::reset_after_reboot(bool lose_store) {
   if (verify_flush_scheduled_) {
     if (adhoc_.attached()) adhoc_.scheduler().cancel(verify_flush_event_);
     verify_flush_scheduled_ = false;
+    verify_flush_event_ = sim::kInvalidEventId;
   }
   verify_queue_.clear();
   session_users_.clear();
@@ -99,11 +102,16 @@ void MessageManager::detach() {
   // The deadline is absolute, so the flush re-arms exactly where it would
   // have fired: a window that straddles an episode boundary flushes at the
   // same sim time on the next shard.
-  if (verify_flush_scheduled_) adhoc_.scheduler().cancel(verify_flush_event_);
+  if (verify_flush_scheduled_) {
+    assert(verify_flush_event_ != sim::kInvalidEventId);
+    adhoc_.scheduler().cancel(verify_flush_event_);
+    verify_flush_event_ = sim::kInvalidEventId;  // id is meaningless off-shard
+  }
 }
 
 void MessageManager::attach() {
   if (verify_flush_scheduled_) {
+    assert(verify_flush_event_ == sim::kInvalidEventId);
     verify_flush_event_ =
         adhoc_.scheduler().schedule_at(verify_flush_at_, [this] { flush_verify_queue(); });
   }
@@ -111,6 +119,7 @@ void MessageManager::attach() {
 
 void MessageManager::flush_verify_queue() {
   verify_flush_scheduled_ = false;
+  verify_flush_event_ = sim::kInvalidEventId;  // our own firing consumed it
   std::vector<PendingBundle> queue = std::move(verify_queue_);
   verify_queue_.clear();
   flush_entries(std::move(queue));

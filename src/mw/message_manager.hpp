@@ -106,21 +106,37 @@ class MessageManager {
   };
 
   AdHocManager& adhoc_;
+  // sos-lint: allow(seam-exempt) reference to node-lifetime stats storage;
+  // rebinding happens one layer down (AdHocManager owns the scheduler ties).
   NodeStats& stats_;
+  // sos-lint: allow(seam-exempt) pure value state: the store is exactly the
+  // payload the seam exists to carry across shards, untouched.
   bundle::BundleStore store_;
-  std::map<pki::UserId, pki::Certificate> cert_cache_;
+  std::map<pki::UserId, pki::Certificate> cert_cache_;  // sos-lint: allow(seam-exempt) value state, no scheduler handles
+  // sos-lint: allow(seam-exempt) session identity/send bookkeeping: keyed by
+  // live PeerId sessions, which AdHocManager tears down on session drop (not
+  // on detach — sessions survive a shard boundary by design, see mw_test's
+  // shard-crossing session pins).
   std::map<sim::PeerId, pki::UserId> session_users_;
+  // sos-lint: allow(seam-exempt) same lifecycle as session_users_.
   std::map<sim::PeerId, std::set<bundle::BundleId>> sent_this_session_;
   /// Batch-verify and deliver the given queue entries now.
   void flush_entries(std::vector<PendingBundle> entries);
 
   std::vector<PendingBundle> verify_queue_;
   bool verify_flush_scheduled_ = false;
-  sim::EventId verify_flush_event_ = 0;  // valid while verify_flush_scheduled_ and attached
+  // Invariant (asserted at the arm/disarm sites): != kInvalidEventId exactly
+  // while verify_flush_scheduled_ and attached; reset to the sentinel the
+  // moment the event is cancelled or fires, so a stale id can never be
+  // cancelled against a *different* scheduler shard after re-attach.
+  sim::EventId verify_flush_event_ = sim::kInvalidEventId;
   util::SimTime verify_flush_at_ = 0.0;  // absolute deadline of that flush
+  // sos-lint: allow(seam-exempt) scenario-constant batching knobs, fixed at
+  // configure time; the only shard-sensitive flush state is the event id and
+  // deadline above, which attach()/detach() do handle.
   util::SimTime verify_batch_window_ = 0.0;
-  bool verify_batch_adaptive_ = false;
-  std::size_t verify_batch_max_queue_ = 256;
+  bool verify_batch_adaptive_ = false;  // sos-lint: allow(seam-exempt) see verify_batch_window_
+  std::size_t verify_batch_max_queue_ = 256;  // sos-lint: allow(seam-exempt) see verify_batch_window_
 };
 
 }  // namespace sos::mw

@@ -1,5 +1,7 @@
 #include "mw/routing_manager.hpp"
 
+#include <cassert>
+
 namespace sos::mw {
 
 RoutingManager::RoutingManager(sim::Scheduler& sched, MessageManager& msgs, NodeStats& stats,
@@ -70,8 +72,18 @@ void RoutingManager::maintenance_tick() {
 }
 
 void RoutingManager::detach() {
-  if (maintenance_interval_ > 0) sched_->cancel(maintenance_event_);
-  if (push_pending_) sched_->cancel(push_event_);
+  // Ids are shard-local: cancel against the departing scheduler, then reset
+  // to the sentinel so a stale id can never be replayed against the next one.
+  if (maintenance_interval_ > 0) {
+    assert(maintenance_event_ != sim::kInvalidEventId);
+    sched_->cancel(maintenance_event_);
+    maintenance_event_ = sim::kInvalidEventId;
+  }
+  if (push_pending_) {
+    assert(push_event_ != sim::kInvalidEventId);
+    sched_->cancel(push_event_);
+    push_event_ = sim::kInvalidEventId;
+  }
   sched_ = nullptr;
 }
 
@@ -113,6 +125,7 @@ void RoutingManager::push_summaries() {
 void RoutingManager::schedule_push() {
   push_event_ = sched_->schedule_at(push_at_, [this] {
     push_pending_ = false;
+    push_event_ = sim::kInvalidEventId;  // consumed by firing
     for (sim::PeerId peer : msgs_.secure_peers()) msgs_.send_summary(peer, build_summary());
   });
 }

@@ -71,17 +71,23 @@ class RoutingManager {
 
   sim::Scheduler* sched_;  // rebindable: see detach()/attach()
   MessageManager& msgs_;
+  // sos-lint: allow(seam-exempt) reference to node-lifetime stats storage,
+  // no scheduler coupling.
   NodeStats& stats_;
   std::unique_ptr<RoutingScheme> scheme_;
   std::set<pki::UserId> subscriptions_;
+  // sos-lint: allow(seam-exempt) keyed by live sessions, torn down on
+  // session drop (not detach): secure peer state survives shard boundaries
+  // by design, same lifecycle as MessageManager::session_users_.
   std::map<sim::PeerId, PeerView> peers_;  // secure peers with summaries
   bool push_pending_ = false;              // coalesces summary gossip
+  // sos-lint: allow(seam-exempt) scenario-constant debounce knob.
   util::SimTime push_debounce_s_ = 1.0;
   util::SimTime push_at_ = 0.0;            // absolute deadline while pending
-  sim::EventId push_event_ = 0;
+  sim::EventId push_event_ = sim::kInvalidEventId;  // armed while push_pending_
   util::SimTime maintenance_interval_ = 0.0;  // 0 = periodic sweep disabled
   util::SimTime next_maintenance_at_ = 0.0;   // absolute, while interval > 0
-  sim::EventId maintenance_event_ = 0;
+  sim::EventId maintenance_event_ = sim::kInvalidEventId;  // armed while interval > 0
 };
 
 }  // namespace sos::mw

@@ -132,12 +132,17 @@ class SosNode {
 
  private:
   sim::Scheduler* sched_;  // rebindable: see detach()/attach()
+  // sos-lint: allow(seam-exempt) node identity/config/stats: owned value
+  // state with no scheduler handles; the managers below hold references
+  // into these, so they must stay put while the managers rebind around them.
   pki::DeviceCredentials creds_;
-  SosConfig config_;
-  NodeStats stats_;
+  SosConfig config_;   // sos-lint: allow(seam-exempt) see creds_
+  NodeStats stats_;    // sos-lint: allow(seam-exempt) see creds_
   std::unique_ptr<AdHocManager> adhoc_;
   std::unique_ptr<MessageManager> msgs_;
   std::unique_ptr<RoutingManager> routing_;
+  // sos-lint: allow(seam-exempt) monotonic publish counter: advances only
+  // on app-driven publish/send calls, which never happen mid-rebind.
   std::uint32_t next_msg_num_ = 1;
 };
 

@@ -1,10 +1,16 @@
 #include "sim/scheduler.hpp"
 
+#include <cassert>
+
 namespace sos::sim {
 
 EventId Scheduler::schedule_at(util::SimTime t, EventFn fn) {
   if (t < now_) t = now_;  // never schedule into the past
   EventId id = next_id_++;
+  // kInvalidEventId must stay unmintable or every `event_ != kInvalidEventId`
+  // armed-check in the middleware silently breaks (reachable only after a
+  // 2^64 id wraparound, i.e. never in practice — hence an assert, not a throw).
+  assert(id != kInvalidEventId && "EventId counter wrapped onto the sentinel");
   queue_.push(Event{t, id, std::move(fn)});
   queued_.insert(id);
   return id;

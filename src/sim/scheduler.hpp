@@ -25,6 +25,12 @@ namespace sos::sim {
 using EventId = std::uint64_t;
 using EventFn = std::function<void()>;
 
+/// Sentinel for "no event scheduled". The scheduler mints ids starting at 1
+/// (schedule_* asserts the invariant), so 0 can never name a live event and
+/// cancel(kInvalidEventId) is always a harmless no-op. Fields holding a
+/// maybe-armed event id initialize to this, never to a bare 0.
+inline constexpr EventId kInvalidEventId = 0;
+
 class Scheduler {
  public:
   Scheduler() = default;
@@ -74,7 +80,7 @@ class Scheduler {
   std::unordered_set<EventId> queued_;     // ids currently in the queue
   std::unordered_set<EventId> cancelled_;  // subset of queued_
   util::SimTime now_ = 0.0;
-  EventId next_id_ = 1;
+  EventId next_id_ = kInvalidEventId + 1;  // id 0 is reserved as the sentinel
 };
 
 }  // namespace sos::sim

@@ -1,0 +1,63 @@
+// Clang Thread Safety Analysis annotations (the "capability" analysis):
+// compile-time checking that every access to a mutex-protected field
+// happens with the right mutex held, and that lock/unlock discipline is
+// structurally sound — the static half of the concurrency contract whose
+// dynamic half is the TSan gate in run_benches.sh --check.
+//
+// The macros expand to clang attributes under clang and to nothing
+// elsewhere, so GCC builds (this container) see plain code while clang CI
+// builds enforce the contract with -Wthread-safety -Werror. Annotate with
+// the SOS_* spellings only; never use __attribute__((...)) directly, so
+// a grep for SOS_GUARDED_BY enumerates the entire annotated surface.
+//
+// Usage sketch (see util/mutex.hpp for the annotated mutex types):
+//
+//   util::Mutex mu_;
+//   int shared_ SOS_GUARDED_BY(mu_);
+//   void touch() SOS_REQUIRES(mu_);   // caller must hold mu_
+//   void sweep() SOS_EXCLUDES(mu_);   // caller must NOT hold mu_ (it locks)
+#pragma once
+
+#if defined(__clang__)
+#define SOS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SOS_THREAD_ANNOTATION(x)  // no-op off-clang
+#endif
+
+/// Declares a type to be a capability (lockable): util::Mutex.
+#define SOS_CAPABILITY(x) SOS_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define SOS_SCOPED_CAPABILITY SOS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define SOS_GUARDED_BY(x) SOS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define SOS_PT_GUARDED_BY(x) SOS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and exit).
+#define SOS_REQUIRES(...) SOS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on exit, not entry).
+#define SOS_ACQUIRE(...) SOS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry, not exit).
+#define SOS_RELEASE(...) SOS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define SOS_TRY_ACQUIRE(...) SOS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the listed capabilities held (it will
+/// acquire them itself — calling with them held is a self-deadlock).
+#define SOS_EXCLUDES(...) SOS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (no acquire/release).
+#define SOS_ASSERT_CAPABILITY(x) SOS_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define SOS_RETURN_CAPABILITY(x) SOS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disable the analysis for one function. Every use must
+/// carry a comment saying why the contract cannot be expressed.
+#define SOS_NO_THREAD_SAFETY_ANALYSIS SOS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,34 @@
+// sos-lint fixture: MUST pass [lock-scope].
+// The safe shapes: mutate guarded state under the lock, then make the
+// callback/scheduler calls after the critical section ends (snapshot what
+// they need first), or annotate a site proven non-re-entrant. Not compiled.
+#include <functional>
+#include <mutex>
+
+struct Scheduler {
+  unsigned long schedule_at(double t, std::function<void()> fn);
+};
+
+struct Queue {
+  std::mutex mu;
+  std::function<void()> on_drained;
+  Scheduler* sched = nullptr;
+  int depth = 0;
+
+  void drain() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      depth = 0;
+    }
+    on_drained();  // lock already released: fine
+    sched->schedule_at(1.0, [] {});
+  }
+
+  void drain_annotated() {
+    std::lock_guard<std::mutex> lock(mu);
+    depth = 0;
+    // sos-lint: allow(lock-scope) on_drained is set once before any thread
+    // starts and never re-enters Queue; holding mu across it cannot deadlock.
+    on_drained();
+  }
+};

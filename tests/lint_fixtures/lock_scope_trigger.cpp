@@ -1,0 +1,25 @@
+// sos-lint fixture: MUST trigger [lock-scope].
+// Firing a callback or touching the scheduler while a scoped lock is alive
+// is the classic re-entrant deadlock seed: the callee can call back into
+// the locking layer (or block on another thread that needs this lock).
+// Not compiled — parsed by the linter.
+#include <functional>
+#include <mutex>
+
+struct Scheduler {
+  unsigned long schedule_at(double t, std::function<void()> fn);
+};
+
+struct Queue {
+  std::mutex mu;
+  std::function<void()> on_drained;
+  Scheduler* sched = nullptr;
+  int depth = 0;
+
+  void drain() {
+    std::lock_guard<std::mutex> lock(mu);
+    depth = 0;
+    on_drained();  // finding: callback invoked under mu
+    sched->schedule_at(1.0, [] {});  // finding: scheduler call under mu
+  }
+};

@@ -1,0 +1,31 @@
+// sos-lint fixture: MUST pass [seam-completeness].
+// Every member is either referenced in the detach()/attach() closure
+// (directly or through a same-class method the seam calls) or carries a
+// justified allow(seam-exempt) annotation. Not compiled.
+#include <cstddef>
+
+struct Scheduler;
+
+class SeamFixture {
+ public:
+  void detach() {
+    sched_ = nullptr;
+    drop_sessions();
+  }
+  void attach(Scheduler& sched) {
+    sched_ = &sched;
+    rearm();
+  }
+
+ private:
+  void drop_sessions() { sessions_ = 0; }
+  void rearm() { pending_event_ = next_deadline_; }
+
+  Scheduler* sched_ = nullptr;
+  std::size_t sessions_ = 0;
+  unsigned long pending_event_ = 0;    // via rearm(), called from attach()
+  double next_deadline_ = 0.0;         // read by rearm()
+  // sos-lint: allow(seam-exempt) construction-time constant: set once in
+  // the constructor and never mutated, so shard transfer cannot lose it.
+  std::size_t capacity_ = 64;
+};

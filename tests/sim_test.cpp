@@ -57,6 +57,26 @@ TEST(Scheduler, CancelPreventsExecution) {
   EXPECT_FALSE(fired);
 }
 
+TEST(Scheduler, InvalidEventIdIsNeverMintedAndCancelsAsNoOp) {
+  // kInvalidEventId is the "no event armed" sentinel the middleware's
+  // maybe-scheduled fields (verify flush, routing push/maintenance) init
+  // to and reset to on disarm. The scheduler must never mint it — ids
+  // start above the sentinel — and cancelling it must be a harmless no-op
+  // that leaves no bookkeeping behind.
+  ss::Scheduler sched;
+  bool fired = false;
+  auto id = sched.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_NE(id, ss::kInvalidEventId);
+  sched.cancel(ss::kInvalidEventId);
+  EXPECT_EQ(sched.cancelled_backlog(), 0u);  // no-op left no tombstone
+  sched.run_all();
+  EXPECT_TRUE(fired);  // the live event was untouched
+  // Fresh schedulers (episode shards construct one per episode) also never
+  // hand out the sentinel as their first id.
+  ss::Scheduler shard(100.0);
+  EXPECT_NE(shard.schedule_in(1.0, [] {}), ss::kInvalidEventId);
+}
+
 TEST(Scheduler, RunUntilStopsAtBoundaryAndAdvancesClock) {
   ss::Scheduler sched;
   int count = 0;

@@ -5,9 +5,12 @@
 // order (FIFO by EventId).
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "deploy/replay.hpp"
 #include "deploy/report.hpp"
 #include "deploy/sweep.hpp"
 #include "sim/scheduler.hpp"
@@ -199,6 +202,62 @@ TEST(Sweep, CellResultsReportEpisodeParallelism) {
   }
   // Variants of one cell share the recorded world, hence the same partition.
   EXPECT_DOUBLE_EQ(results[0].episode_parallelism, results[1].episode_parallelism);
+}
+
+// --- WorkerBudget: the token pool behind nested parallelism ----------------
+
+TEST(WorkerBudget, DonationNeverLeaksOrMintsTokens) {
+  // The donation path: finished cell workers release(1) their own thread
+  // while episode workers concurrently acquire(1) to grow. Conservation is
+  // by protocol (every acquire()'s return value is eventually released by
+  // its owner), so hammer exactly that protocol from many threads and
+  // assert the pool returns to its initial size — a lost token would starve
+  // later cells, a minted one would oversubscribe the job count. Run under
+  // -DSOS_SANITIZE=thread via `ctest -L sweep` for the data-race half.
+  static constexpr std::size_t kTokens = 4;
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRounds = 2000;
+  sd::WorkerBudget budget(kTokens);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&budget, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        // Mix bulk grabs (engine startup: acquire(want)) with the
+        // single-token opportunistic borrow (mid-run growth).
+        std::size_t got = budget.acquire(t % 3 == 0 ? 3 : 1);
+        ASSERT_LE(got, kTokens);
+        if (got > 1) budget.release(got - 1);  // partial give-back
+        if (got > 0) budget.release(1);        // the donation itself
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(budget.available(), kTokens);
+  // Quiescent pool still grants what it holds, no more.
+  EXPECT_EQ(budget.acquire(kTokens + 5), kTokens);
+  EXPECT_EQ(budget.acquire(1), 0u);
+  budget.release(kTokens);
+}
+
+TEST(WorkerBudget, DonatedThreadsDoNotChangeSweepMetrics) {
+  // End-to-end donation: one cell, several variants, jobs well above the
+  // cell-worker count, so the surplus seeds the budget and finished cell
+  // workers donate into episode engines still running. Metrics must be
+  // bitwise identical to the fully serial run.
+  auto grid = tiny_grid();
+  sd::SweepOptions serial_opts;
+  serial_opts.jobs = 1;
+  auto serial = sd::SweepRunner(serial_opts).run(grid);
+  sd::SweepOptions donate_opts;
+  donate_opts.jobs = 8;  // 4 work items -> 4 cell workers + 4 budget tokens
+  donate_opts.episode_jobs = 3;
+  auto donated = sd::SweepRunner(donate_opts).run(grid);
+  ASSERT_EQ(serial.size(), donated.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(fingerprint(serial[i]), fingerprint(donated[i]))
+        << serial[i].label;
+  }
 }
 
 // --- the scheduler invariant the sweep property rests on -------------------

@@ -58,6 +58,14 @@ def build_model_clang(path: str, text: str, include_dirs: list[str]) -> FileMode
         for child in cursor.walk_preorder():
             if child.kind == CursorKind.CALL_EXPR and child.spelling:
                 fn.calls.add(child.spelling)
+            # Reference facts for seam-completeness: names the body actually
+            # mentions. (The rule itself reads the token-layer facts, which
+            # the AST ones are merged into, so a PARSE_INCOMPLETE AST that
+            # drops an expression can only ever ADD references, never hide
+            # one the token layer saw.)
+            if child.kind in (CursorKind.DECL_REF_EXPR,
+                              CursorKind.MEMBER_REF_EXPR) and child.spelling:
+                fn.idents.add(child.spelling)
             if child.kind == CursorKind.CXX_FOR_RANGE_STMT:
                 kids = list(child.get_children())
                 if len(kids) >= 2 and is_unordered_type(kids[-2].type.spelling):

@@ -75,6 +75,8 @@ class Function:
     calls: set[str] = field(default_factory=set)
     # (line, container expression text) for each unordered iteration found.
     unordered_iterations: list[tuple[int, str]] = field(default_factory=list)
+    # Every identifier token in the body (seam-completeness reference facts).
+    idents: set[str] = field(default_factory=set)
 
 
 @dataclass
@@ -84,6 +86,10 @@ class ClassDef:
     line: int
     end_line: int
     body_lines: tuple[int, int]  # inclusive line span of the class body
+    # Data members by this repo's trailing-underscore convention: (name,
+    # declaration line) for identifiers like `foo_` declared directly in the
+    # class body (depth 1, outside parens, followed by ; = { or [).
+    members: list[tuple[str, int]] = field(default_factory=list)
 
 
 @dataclass
@@ -102,6 +108,17 @@ class FileModel:
     pointer_key_decls: list[tuple[int, str]]
     # Destructor definitions seen in this file: class name -> body text.
     dtor_bodies: dict[str, str]
+    # Token-layer function facts, preserved verbatim even when the clang
+    # frontend replaces `functions` with AST-derived ones: the seam rule's
+    # reference sets come from here so its verdicts cannot shift with the
+    # frontend (PARSE_INCOMPLETE ASTs can drop reference expressions).
+    token_functions: list[Function] = field(default_factory=list)
+    # (call line, callee name, lock declaration line) for every call made
+    # while a lock_guard/unique_lock/scoped_lock/MutexLock declared in the
+    # same block is in scope. Over-approximates (a manual unlock() does not
+    # end the span) — the lock-scope rule filters by risky callee names and
+    # accepts allow(lock-scope) for the rest.
+    lock_scope_calls: list[tuple[int, str, int]] = field(default_factory=list)
 
     def allow_tags(self, line: int) -> set[str]:
         """Tags allowed on `line`: a same-line comment, or a standalone
@@ -318,6 +335,8 @@ def _scan_body(tokens: list[Token], start: int, end: int,
     while i < end:
         t = tokens[i]
         nxt = tokens[i + 1].text if i + 1 < end else ""
+        if re.match(r"[A-Za-z_]", t.text):
+            fn.idents.add(t.text)
         if re.match(r"[A-Za-z_]", t.text) and nxt == "(" and t.text not in _NOT_CALL:
             fn.calls.add(t.text)
         # Range-for over an unordered container.
@@ -347,6 +366,76 @@ def _scan_body(tokens: list[Token], start: int, end: int,
         ):
             fn.unordered_iterations.append((t.line, t.text + "." + tokens[i + 2].text + "()"))
         i += 1
+
+
+def _class_members(tokens: list[Token], open_idx: int, close_idx: int) -> list[tuple[str, int]]:
+    """Trailing-underscore data members declared directly in a class body:
+    identifiers like `foo_` at brace depth 1 (relative to the class body),
+    outside any parentheses (so parameter default arguments don't match),
+    followed by ';', '=', '{' or '['."""
+    members: dict[str, int] = {}
+    depth = 0
+    paren = 0
+    for k in range(open_idx, close_idx):
+        txt = tokens[k].text
+        if txt == "{":
+            depth += 1
+        elif txt == "}":
+            depth -= 1
+        elif txt == "(":
+            paren += 1
+        elif txt == ")":
+            paren -= 1
+        elif (
+            depth == 1 and paren == 0
+            and len(txt) > 1 and txt.endswith("_")
+            and re.match(r"[A-Za-z_]", txt)
+            and (k == 0 or tokens[k - 1].text != "using")
+        ):
+            nxt = tokens[k + 1].text if k + 1 < close_idx else ""
+            if nxt in {";", "=", "{", "["}:
+                members.setdefault(txt, tokens[k].line)
+    return sorted(members.items(), key=lambda kv: kv[1])
+
+
+_LOCK_TYPES = {"lock_guard", "unique_lock", "scoped_lock", "shared_lock", "MutexLock"}
+
+
+def _collect_lock_scope_calls(tokens: list[Token]) -> list[tuple[int, str, int]]:
+    """(call line, callee, lock declaration line) for every call inside the
+    block scope of a named lock object. Config-independent over-approximation;
+    the lock-scope rule filters callee names against the risky sets."""
+    calls: list[tuple[int, str, int]] = []
+    n = len(tokens)
+    for i in range(n):
+        if tokens[i].text not in _LOCK_TYPES:
+            continue
+        j = i + 1
+        if j < n and tokens[j].text == "<":
+            j = _match_forward(tokens, j, "<", ">")
+        # Declaration shape: `LockType[<...>] name(...)` or `... name{...}`.
+        if not (
+            j + 1 < n
+            and re.match(r"[A-Za-z_]", tokens[j].text)
+            and tokens[j + 1].text in {"(", "{"}
+        ):
+            continue
+        decl_line = tokens[i].line
+        depth = 0
+        k = j + 1
+        while k < n:
+            txt = tokens[k].text
+            if txt == "{":
+                depth += 1
+            elif txt == "}":
+                depth -= 1
+                if depth < 0:
+                    break  # enclosing block closed: the lock is destroyed
+            nxt = tokens[k + 1].text if k + 1 < n else ""
+            if re.match(r"[A-Za-z_]", txt) and nxt == "(" and txt not in _NOT_CALL:
+                calls.append((tokens[k].line, txt, decl_line))
+            k += 1
+    return calls
 
 
 def _extract_functions_and_classes(
@@ -389,7 +478,8 @@ def _extract_functions_and_classes(
                 end_line = tokens[body_end - 1].line if body_end - 1 < n else t.line
                 if name:
                     classes.append(ClassDef(name, path, t.line, end_line,
-                                            (tokens[j].line, end_line)))
+                                            (tokens[j].line, end_line),
+                                            _class_members(tokens, j, body_end)))
                 # Fall through: scope tracking still sees the '{'.
                 scope.append((t.text, name, depth + 1))
                 i = j
@@ -489,4 +579,6 @@ def build_model(path: str, text: str) -> FileModel:
         unordered_names=unordered_names,
         pointer_key_decls=pointer_keys,
         dtor_bodies=dtors,
+        token_functions=functions,
+        lock_scope_calls=_collect_lock_scope_calls(tokens),
     )

@@ -75,6 +75,31 @@ class LintConfig:
         r"|util::Bytes|X25519Key|EdSeed\b"
     )
 
+    # seam-completeness: classes whose per-node state crosses episode-shard
+    # boundaries through the detach()/attach() seam. Every trailing-
+    # underscore member of these classes must be referenced in the seam
+    # closure or carry allow(seam-exempt).
+    seam_classes: list[str] = field(default_factory=lambda: [
+        "AdHocManager", "MessageManager", "RoutingManager", "SosNode",
+    ])
+
+    # lock-scope: files whose locks the rule polices (the ones carrying
+    # SOS_GUARDED_BY annotations — where a callback fired under a lock can
+    # re-enter the locking layer), the exact callee names that are risky
+    # under a lock, and name prefixes treated the same way (the middleware
+    # callback convention).
+    lock_scope_paths: list[str] = field(default_factory=lambda: [
+        "src/crypto/verify_memo", "src/deploy/replay", "src/deploy/sweep",
+        "src/util/mutex",
+    ])
+    lock_scope_calls: list[str] = field(default_factory=lambda: [
+        "schedule_at", "schedule_in", "cancel",   # scheduler API
+        "emit_report", "to_json", "render",       # emission roots
+    ])
+    lock_scope_call_prefixes: list[str] = field(default_factory=lambda: [
+        "on_",                                    # middleware callbacks
+    ])
+
 
 def load_config(root: Path, override: Path | None = None) -> LintConfig:
     cfg = LintConfig()

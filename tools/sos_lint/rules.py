@@ -1,6 +1,6 @@
 """sos-lint rule implementations.
 
-Two families, five rules:
+Three families, seven rules:
 
 Determinism (the replay-identity contract: metrics/wire/trace/report bytes
 must be a pure function of the scenario seed):
@@ -27,6 +27,24 @@ handshake/resume paths):
 - ``zeroize-secret`` — structs/classes holding key material must zeroize
   it (``util::secure_wipe`` in their destructor).
 
+Concurrency contracts (the detach/attach seam and the lock discipline the
+Clang Thread Safety annotations in ``util/thread_annotations.hpp`` check
+at compile time — these rules cover the parts attributes cannot express):
+
+- ``seam-completeness`` — every data member of a seam class (the classes
+  whose state crosses episode-shard boundaries through detach()/attach())
+  must be referenced somewhere in the detach/attach closure (the seam
+  bodies plus same-class methods they call), or carry
+  ``// sos-lint: allow(seam-exempt) <why this member is seam-inert>``.
+  A member added without either is exactly the bug class the seam exists
+  to prevent: state silently dropped at an episode boundary.
+- ``lock-scope`` — in the annotated shared-state files, no callback,
+  emission, or scheduler call while a ``lock_guard`` / ``unique_lock`` /
+  ``scoped_lock`` / ``MutexLock`` is in scope. Re-entrant callbacks under
+  a lock are the classic self-deadlock / lock-order-inversion seed; the
+  span is over-approximate (a manual ``unlock()`` does not end it), so
+  sound sites annotate ``allow(lock-scope)`` with the reason.
+
 Every rule accepts an inline annotation
 ``// sos-lint: allow(<tag>) <justification>`` on the flagged line (or as a
 standalone comment on the line above). An annotation without a
@@ -47,6 +65,8 @@ ALL_RULES = (
     "pointer-key",
     "memcmp-secret",
     "zeroize-secret",
+    "seam-completeness",
+    "lock-scope",
 )
 
 # Which annotation tags silence which rule.
@@ -56,6 +76,8 @@ ALLOW_TAGS = {
     "pointer-key": {"pointer-key"},
     "memcmp-secret": {"memcmp-secret", "memcmp-public"},
     "zeroize-secret": {"zeroize-secret"},
+    "seam-completeness": {"seam-completeness", "seam-exempt"},
+    "lock-scope": {"lock-scope"},
 }
 
 
@@ -271,12 +293,104 @@ def rule_zeroize_secret(models: list[FileModel], cfg) -> list[Finding]:
     return out
 
 
+# --------------------------------------------------------------------------
+# concurrency-contract rules
+# --------------------------------------------------------------------------
+
+def rule_seam_completeness(models: list[FileModel], cfg) -> list[Finding]:
+    """Every trailing-underscore member of a seam class must appear in the
+    detach/attach closure: the detach()/attach() bodies plus, transitively,
+    same-class methods they call. Facts come from the token layer
+    (FileModel.token_functions), so verdicts are frontend-independent; the
+    clang frontend can only add references on top, never remove them."""
+    # (class, method) -> definitions, across all scanned files — the seam
+    # bodies usually live in the .cpp while the members live in the .hpp.
+    by_class_method: dict[tuple[str, str], list] = {}
+    for m in models:
+        for fn in m.token_functions:
+            parts = fn.qual.split("::")
+            if len(parts) >= 2:
+                by_class_method.setdefault((parts[-2], parts[-1]), []).append(fn)
+
+    out = []
+    for m in models:
+        for cls in m.classes:
+            if cls.name not in cfg.seam_classes or not cls.members:
+                continue
+            work = []
+            for entry in ("detach", "attach"):
+                work.extend(by_class_method.get((cls.name, entry), []))
+            if not work:
+                # Seam bodies not in the scanned set (partial file list):
+                # no reference facts means no sound verdict — stay silent
+                # rather than flag every member.
+                continue
+            seen: set[tuple[str, str, int]] = set()
+            referenced: set[str] = set()
+            while work:
+                fn = work.pop()
+                key = (fn.file, fn.qual, fn.line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                referenced |= fn.idents
+                for callee in fn.calls:
+                    work.extend(by_class_method.get((cls.name, callee), []))
+            for name, line in cls.members:
+                if name in referenced:
+                    continue
+                if _allowed(m, line, "seam-completeness"):
+                    continue
+                out.append(Finding(
+                    m.path, line, "seam-completeness",
+                    f"member '{name}' of seam class '{cls.name}' is never "
+                    "referenced in the detach()/attach() closure — state it "
+                    "holds silently stays behind at an episode-shard "
+                    "boundary; wire it through the seam or annotate "
+                    "'// sos-lint: allow(seam-exempt) <why seam-inert>'",
+                ))
+    return out
+
+
+def rule_lock_scope(models: list[FileModel], cfg) -> list[Finding]:
+    """No callback / emission / scheduler calls while a scoped lock is
+    alive, in the files carrying thread-safety annotations. The span facts
+    are token-level (FileModel.lock_scope_calls) and over-approximate:
+    a manual unlock() does not end the span — annotate such sites."""
+    banned = set(cfg.lock_scope_calls)
+    prefixes = tuple(cfg.lock_scope_call_prefixes)
+    out = []
+    for m in models:
+        if not any(p in m.path for p in cfg.lock_scope_paths):
+            continue
+        seen: set[tuple[int, str]] = set()
+        for line, callee, decl_line in m.lock_scope_calls:
+            if not (callee in banned or (prefixes and callee.startswith(prefixes))):
+                continue
+            if (line, callee) in seen:  # nested lock scopes overlap
+                continue
+            seen.add((line, callee))
+            if _allowed(m, line, "lock-scope"):
+                continue
+            out.append(Finding(
+                m.path, line, "lock-scope",
+                f"'{callee}' called while the lock declared on line "
+                f"{decl_line} is in scope — callbacks/emission/scheduler "
+                "calls under a lock invite re-entrant deadlock; move the "
+                "call after the critical section (drop the lock first) or "
+                "annotate '// sos-lint: allow(lock-scope) <why safe>'",
+            ))
+    return out
+
+
 RULE_FNS = {
     "unordered-iteration": rule_unordered_iteration,
     "banned-entropy": rule_banned_entropy,
     "pointer-key": rule_pointer_key,
     "memcmp-secret": rule_memcmp_secret,
     "zeroize-secret": rule_zeroize_secret,
+    "seam-completeness": rule_seam_completeness,
+    "lock-scope": rule_lock_scope,
 }
 
 

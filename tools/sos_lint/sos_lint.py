@@ -14,6 +14,8 @@ Usage:
   sos_lint.py --root <repo> --selftest      # run tests/lint_fixtures
   sos_lint.py --root <repo> path1.cpp ...   # lint specific files
   sos_lint.py --frontend {auto,token,clang} # AST frontend selection
+  sos_lint.py --cache-file <f>              # incremental: skip unchanged trees
+  sos_lint.py --format sarif --output <f>   # SARIF 2.1.0 for CI upload
 
 Exit codes: 0 clean, 1 findings (or fixture mismatch), 2 usage/internal.
 """
@@ -21,6 +23,8 @@ Exit codes: 0 clean, 1 findings (or fixture mismatch), 2 usage/internal.
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import sys
 from pathlib import Path
 
@@ -29,10 +33,14 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import clang_frontend  # noqa: E402
 from cxx_model import FileModel, build_model  # noqa: E402
 from lint_config import LintConfig, load_config  # noqa: E402
-from rules import ALL_RULES, run_rules  # noqa: E402
+from rules import ALL_RULES, Finding, run_rules  # noqa: E402
 
 
-def _load_models(root: Path, paths: list[Path], frontend: str) -> list[FileModel]:
+def _load_models(root: Path, paths: list[Path],
+                 frontend: str) -> tuple[list[FileModel], dict]:
+    """Build models; the stats dict reports which frontend actually ran
+    ({'frontend': 'clang'|'token', 'ast': files parsed via AST, 'total': n})
+    so CI can assert the AST frontend was live, not silently degraded."""
     use_clang = False
     if frontend == "clang":
         if not clang_frontend.available():
@@ -48,6 +56,7 @@ def _load_models(root: Path, paths: list[Path], frontend: str) -> list[FileModel
         use_clang = clang_frontend.available()
 
     models = []
+    ast_ok = 0
     include_dirs = [str(root / "src")]
     for p in paths:
         rel = p.relative_to(root).as_posix() if p.is_absolute() else p.as_posix()
@@ -55,12 +64,168 @@ def _load_models(root: Path, paths: list[Path], frontend: str) -> list[FileModel
         if use_clang:
             try:
                 models.append(clang_frontend.build_model_clang(rel, text, include_dirs))
+                ast_ok += 1
                 continue
             except Exception as e:  # degrade, never crash the gate
                 print(f"sos-lint: warning: clang frontend failed on {rel} "
                       f"({e}); using token frontend", file=sys.stderr)
         models.append(build_model(rel, text))
-    return models
+    stats = {
+        "frontend": "clang" if use_clang else "token",
+        "ast": ast_ok,
+        "total": len(models),
+    }
+    return models, stats
+
+
+# --------------------------------------------------------------------------
+# incremental cache
+# --------------------------------------------------------------------------
+
+def _tool_version_hash() -> str:
+    """Hash of the lint tool's own sources: any rule/model/config-schema
+    change invalidates every cached verdict."""
+    h = hashlib.sha256()
+    tool_dir = Path(__file__).resolve().parent
+    for f in sorted(tool_dir.glob("*.py")) + sorted(tool_dir.glob("*.toml")):
+        h.update(f.name.encode())
+        h.update(f.read_bytes())
+    return h.hexdigest()
+
+
+def _config_hash(cfg: LintConfig) -> str:
+    from dataclasses import asdict
+    return hashlib.sha256(
+        json.dumps(asdict(cfg), sort_keys=True).encode()
+    ).hexdigest()
+
+
+def _file_hashes(root: Path, files: list[Path]) -> dict[str, str]:
+    out = {}
+    for p in files:
+        rel = p.relative_to(root).as_posix() if p.is_absolute() else p.as_posix()
+        out[rel] = hashlib.sha256(p.read_bytes()).hexdigest()
+    return out
+
+
+def _cache_lookup(cache_file: Path, key: dict) -> list[Finding] | None:
+    """Stored findings iff the WHOLE tree matches. Findings are stored per
+    file, but validity is all-or-nothing: several rules are cross-file
+    (emission reachability, seam hpp/cpp closure, dtor lookup), so reusing
+    one file's verdicts while another changed would be unsound."""
+    try:
+        data = json.loads(cache_file.read_text())
+    except (OSError, ValueError):
+        return None
+    if any(data.get(k) != key[k] for k in ("tool", "config", "frontend", "files")):
+        return None
+    findings = []
+    for rel, entries in data.get("findings", {}).items():
+        for line, rule, message in entries:
+            findings.append(Finding(rel, line, rule, message))
+    return sorted(findings, key=lambda f: (f.file, f.line, f.rule))
+
+
+def _cache_store(cache_file: Path, key: dict, findings: list[Finding]) -> None:
+    per_file: dict[str, list] = {}
+    for f in findings:
+        per_file.setdefault(f.file, []).append([f.line, f.rule, f.message])
+    data = dict(key)
+    data["findings"] = per_file
+    try:
+        cache_file.parent.mkdir(parents=True, exist_ok=True)
+        cache_file.write_text(json.dumps(data, indent=1, sort_keys=True))
+    except OSError as e:  # cache is an accelerator, never a gate
+        print(f"sos-lint: warning: could not write cache {cache_file}: {e}",
+              file=sys.stderr)
+
+
+# --------------------------------------------------------------------------
+# SARIF 2.1.0 output
+# --------------------------------------------------------------------------
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+_RULE_HELP = {
+    "unordered-iteration": "Hash-order iteration on an emission-reachable path",
+    "banned-entropy": "Ambient entropy/wall-clock source outside util/rng",
+    "pointer-key": "Associative container keyed by pointer (address order)",
+    "memcmp-secret": "Non-constant-time comparison of secret material",
+    "zeroize-secret": "Key material not zeroized in the destructor",
+    "seam-completeness": "Seam-class member missing from detach()/attach() closure",
+    "lock-scope": "Callback/emission/scheduler call under a held lock",
+    "lint-annotation": "Malformed or unjustified sos-lint allow() annotation",
+}
+
+
+def to_sarif(findings: list[Finding]) -> dict:
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.file, "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": f.line},
+                },
+            }],
+        }
+        for f in findings
+    ]
+    rules = [
+        {"id": rid, "shortDescription": {"text": desc}}
+        for rid, desc in sorted(_RULE_HELP.items())
+    ]
+    return {
+        "version": "2.1.0",
+        "$schema": _SARIF_SCHEMA,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "sos-lint",
+                "informationUri": "tools/sos_lint/sos_lint.py",
+                "rules": rules,
+            }},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+
+
+def validate_sarif(doc: dict) -> list[str]:
+    """Structural validation against the SARIF 2.1.0 requirements this tool
+    relies on (full JSON-Schema validation needs a package this container
+    does not ship; these are the fields the spec marks required plus the
+    cross-references GitHub code scanning rejects uploads over)."""
+    errs = []
+    if doc.get("version") != "2.1.0":
+        errs.append("version must be the literal '2.1.0'")
+    if not str(doc.get("$schema", "")).endswith("sarif-schema-2.1.0.json"):
+        errs.append("$schema must reference sarif-schema-2.1.0.json")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errs.append("runs must be a non-empty array")
+        return errs
+    for ri, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            errs.append(f"runs[{ri}].tool.driver.name is required")
+        declared = {r.get("id") for r in driver.get("rules", [])}
+        for si, res in enumerate(run.get("results", [])):
+            where = f"runs[{ri}].results[{si}]"
+            if not res.get("ruleId"):
+                errs.append(f"{where}.ruleId is required")
+            elif res["ruleId"] not in declared:
+                errs.append(f"{where}.ruleId '{res['ruleId']}' not declared "
+                            "in tool.driver.rules")
+            if not res.get("message", {}).get("text"):
+                errs.append(f"{where}.message.text is required")
+            for loc in res.get("locations", []):
+                region = loc.get("physicalLocation", {}).get("region", {})
+                if region.get("startLine", 1) < 1:
+                    errs.append(f"{where}: region.startLine must be >= 1")
+    return errs
 
 
 def _scan_paths(root: Path, cfg: LintConfig) -> list[Path]:
@@ -74,18 +239,66 @@ def _scan_paths(root: Path, cfg: LintConfig) -> list[Path]:
     return out
 
 
-def lint(root: Path, cfg: LintConfig, files: list[Path], frontend: str) -> int:
-    models = _load_models(root, files, frontend)
+def _emit(findings: list[Finding], fmt: str, output: Path | None,
+          summary: str) -> int:
+    if fmt == "sarif":
+        doc = to_sarif(findings)
+        errs = validate_sarif(doc)
+        if errs:  # a malformed document is a tool bug, not a lint verdict
+            print("sos-lint: internal error: generated SARIF is invalid:",
+                  file=sys.stderr)
+            for e in errs:
+                print(f"  {e}", file=sys.stderr)
+            return 2
+        text = json.dumps(doc, indent=1)
+        if output:
+            output.write_text(text + "\n")
+            print(f"sos-lint: wrote SARIF ({len(findings)} result(s)) "
+                  f"to {output}")
+        else:
+            print(text)
+    else:
+        for f in findings:
+            print(f.render())
+    print(summary)
+    return 1 if findings else 0
+
+
+def lint(root: Path, cfg: LintConfig, files: list[Path], frontend: str,
+         cache_file: Path | None = None, fmt: str = "text",
+         output: Path | None = None) -> int:
+    cache_key = None
+    if cache_file is not None:
+        # Validity is whole-tree: tool sources + config + frontend + every
+        # scanned file's content hash. Per-file reuse would be unsound for
+        # the cross-file rules; a full-tree hit costs only the hashing pass.
+        cache_key = {
+            "tool": _tool_version_hash(),
+            "config": _config_hash(cfg),
+            "frontend": frontend,
+            "files": _file_hashes(root, files),
+        }
+        cached = _cache_lookup(cache_file, cache_key)
+        if cached is not None:
+            summary = (f"sos-lint: cache hit ({len(cache_key['files'])} files "
+                       f"unchanged); {len(cached)} finding(s)")
+            return _emit(cached, fmt, output, summary)
+
+    models, stats = _load_models(root, files, frontend)
     findings = run_rules(models, cfg)
-    for f in findings:
-        print(f.render())
+    # CI asserts on this line: a lint job that requested the AST frontend
+    # must see frontend=clang with every file parsed, not a silent fallback.
+    print(f"sos-lint: frontend={stats['frontend']} "
+          f"ast={stats['ast']}/{stats['total']}")
+    if cache_key is not None:
+        _cache_store(cache_file, cache_key, findings)
     if findings:
-        print(f"sos-lint: {len(findings)} finding(s) across "
-              f"{len({f.file for f in findings})} file(s)")
-        return 1
-    print(f"sos-lint: clean ({len(models)} files, "
-          f"{sum(len(m.functions) for m in models)} functions)")
-    return 0
+        summary = (f"sos-lint: {len(findings)} finding(s) across "
+                   f"{len({f.file for f in findings})} file(s)")
+    else:
+        summary = (f"sos-lint: clean ({len(models)} files, "
+                   f"{sum(len(m.functions) for m in models)} functions)")
+    return _emit(findings, fmt, output, summary)
 
 
 def selftest(root: Path, frontend: str) -> int:
@@ -103,6 +316,8 @@ def selftest(root: Path, frontend: str) -> int:
     cfg.emission_paths = ["tests/lint_fixtures"]
     cfg.crypto_paths = ["tests/lint_fixtures"]
     cfg.entropy_allow_paths = []
+    cfg.seam_classes = ["SeamFixture"]
+    cfg.lock_scope_paths = ["tests/lint_fixtures"]
 
     failures = []
     cases = sorted(fixture_dir.glob("*.cpp"))
@@ -124,7 +339,7 @@ def selftest(root: Path, frontend: str) -> int:
             failures.append(f"{path.name}: unknown rule '{rule}'")
             continue
         covered.add(rule)
-        models = _load_models(root, [path], frontend)
+        models, _stats = _load_models(root, [path], frontend)
         findings = run_rules(models, cfg)
         if expect_hit:
             mine = [f for f in findings if f.rule == rule]
@@ -183,6 +398,15 @@ def main(argv: list[str]) -> int:
                          "token scanner (token), or require libclang (clang)")
     ap.add_argument("--selftest", action="store_true",
                     help="run the rule fixtures in tests/lint_fixtures")
+    ap.add_argument("--cache-file", type=Path, default=None,
+                    help="incremental cache: reuse findings when the whole "
+                         "tree (plus tool + config) is unchanged")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="ignore --cache-file (escape hatch)")
+    ap.add_argument("--format", choices=["text", "sarif"], default="text",
+                    help="finding output format (sarif = SARIF 2.1.0)")
+    ap.add_argument("--output", type=Path, default=None,
+                    help="write --format output to this file (sarif only)")
     ap.add_argument("files", nargs="*", type=Path,
                     help="specific files to lint (default: configured scan paths)")
     args = ap.parse_args(argv)
@@ -198,7 +422,9 @@ def main(argv: list[str]) -> int:
     if not files:
         print("sos-lint: nothing to scan", file=sys.stderr)
         return 2
-    return lint(root, cfg, files, args.frontend)
+    cache_file = None if args.no_cache else args.cache_file
+    return lint(root, cfg, files, args.frontend, cache_file=cache_file,
+                fmt=args.format, output=args.output)
 
 
 if __name__ == "__main__":
