@@ -5,8 +5,9 @@
 // sweeps under IB routing, plus the recurring-pair session-churn sweep.
 // All cells run on deploy::SweepRunner (pass --jobs N to parallelize;
 // --episode-jobs M additionally replays each cell on the episode-
-// partitioned engine; metrics are bitwise identical either way and at any
-// thread count).
+// partitioned engine, --subepisode-jobs M on the finer contact-strand
+// engine; metrics are bitwise identical on every engine and at any thread
+// count).
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -35,7 +36,9 @@ void density_row(deploy::Table& t, std::size_t row, const deploy::CellResult& r)
                   deploy::fmt(oracle.overall_delivery_ratio(), 3),
                   delays.empty() ? "-" : util::format_duration(delays.quantile(0.5)),
                   deploy::fmt(oracle.one_hop_fraction(), 3), deploy::fmt(resume_share, 2),
-                  deploy::fmt(r.episode_parallelism, 2), deploy::fmt(r.wall_s, 2)});
+                  deploy::fmt(r.episode_parallelism, 2),
+                  deploy::fmt(r.subepisode_parallelism, 2),
+                  std::to_string(r.subepisode_width), deploy::fmt(r.wall_s, 2)});
 }
 }  // namespace
 
@@ -62,7 +65,7 @@ int main(int argc, char** argv) {
 
   deploy::Table t({"cell", "nodes", "area km^2", "nodes/km^2", "encounters", "deliveries",
                    "delivery ratio", "median delay", "1-hop share", "resumed",
-                   "parallelism", "cell s"});
+                   "parallelism", "dag par", "dag width", "cell s"});
   for (const auto& r : results) density_row(t, r.cell, r);
   t.print();
   std::printf("sweep wall-clock: %.2f s (%zu cells, %zu worker(s), trace replay %s)\n",

@@ -11,6 +11,7 @@
 #include "pki/bootstrap.hpp"
 #include "sim/episode.hpp"
 #include "sim/multipeer.hpp"
+#include "sim/subepisode.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -279,16 +280,57 @@ BENCHMARK(BM_DensityCellReplay)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+static void BM_DensityCellSubepisode(benchmark::State& state) {
+  // The heaviest density cell again (100n / 2x2 km / 3 days), but through
+  // the sub-episode (contact-strand) engine. This is the cell the episode
+  // engine cannot decompose — the daily hotspot chains its contacts into
+  // one serial megatask (episode parallelism ~1.0) — while ContactDag's
+  // per-node hull fusion frees the overnight home-pair contacts to overlap
+  // it (width > 1, pinned by tests/episode_test.cpp). range(0) = strand
+  // workers; metrics are bitwise identical to every other engine/row.
+  auto grid = deploy::density_ablation_grid(3.0);
+  deploy::SweepRunner runner{deploy::SweepOptions{}};
+  const std::size_t heavy = grid_cell_index(grid, "100n");
+  deploy::ScenarioConfig config = runner.cell_config(grid[heavy], heavy);
+  auto world = deploy::record_world(config);
+
+  deploy::ReplayOptions replay;
+  replay.subepisode_jobs = static_cast<std::size_t>(state.range(0));
+  std::uint64_t deliveries = 0;
+  for (auto _ : state) {
+    auto result = deploy::run_scenario(config, world.get(), replay);
+    deliveries = result.totals.deliveries;
+    benchmark::DoNotOptimize(deliveries);
+  }
+  auto dag = sim::ContactDag::partition(world->trace, config.nodes,
+                                        util::days(config.days));
+  state.counters["deliveries"] = static_cast<double>(deliveries);
+  state.counters["tasks"] = static_cast<double>(dag.contact_task_count());
+  state.counters["width"] = static_cast<double>(dag.width());
+  state.counters["parallelism"] = dag.parallelism();
+}
+BENCHMARK(BM_DensityCellSubepisode)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 static void BM_CommunityReplay(benchmark::State& state) {
   // The community-structured density cell (48 nodes, 4 disjoint mobility
   // communities, 10% bridge commuters — the "48n-4c" grid cell) through the
   // replay engines. Unlike the single-hotspot cells, whose conservative
-  // parallelism ceiling is ~1.0, this trace decomposes (parallelism >= 2,
-  // pinned by tests/episode_test.cpp), so episode workers finally have
-  // something to run concurrently. range(0) = 0: single-scheduler replay;
-  // otherwise episode-partitioned with range(0) workers. Metrics are
-  // bitwise identical across all rows; compare the /1 and /4 wall-clocks
-  // for the multi-core win (on a 1-core host they tie by construction).
+  // episode-parallelism ceiling is ~1.0, this trace decomposes (parallelism
+  // >= 2, pinned by tests/episode_test.cpp), so workers finally have
+  // something to run concurrently. range(1) = 0: range(0) = 0 is the
+  // single-scheduler replay, otherwise episode-partitioned with range(0)
+  // workers. range(1) = 1: the sub-episode (contact-strand) engine with
+  // range(0) workers — a strictly finer task DAG (ContactDag refines
+  // EpisodeGraph), so its parallelism ceiling is >= the episode one.
+  // Metrics are bitwise identical across all rows; compare the /1 and /4
+  // wall-clocks for the multi-core win (on a 1-core host they tie by
+  // construction).
   auto grid = deploy::density_ablation_grid(3.0);
   deploy::SweepRunner runner{deploy::SweepOptions{}};
   const std::size_t idx = grid_cell_index(grid, "48n-4c");
@@ -296,8 +338,12 @@ static void BM_CommunityReplay(benchmark::State& state) {
   auto world = deploy::record_world(config);
 
   deploy::ReplayOptions replay;
-  replay.partition = state.range(0) > 0;
-  replay.jobs = replay.partition ? static_cast<std::size_t>(state.range(0)) : 1;
+  if (state.range(1) == 1) {
+    replay.subepisode_jobs = static_cast<std::size_t>(state.range(0));
+  } else {
+    replay.partition = state.range(0) > 0;
+    replay.jobs = replay.partition ? static_cast<std::size_t>(state.range(0)) : 1;
+  }
   std::uint64_t deliveries = 0;
   for (auto _ : state) {
     auto result = deploy::run_scenario(config, world.get(), replay);
@@ -306,14 +352,19 @@ static void BM_CommunityReplay(benchmark::State& state) {
   }
   auto graph = sim::EpisodeGraph::partition(world->trace, config.nodes,
                                             util::days(config.days));
+  auto dag = sim::ContactDag::partition(world->trace, config.nodes,
+                                        util::days(config.days));
   state.counters["deliveries"] = static_cast<double>(deliveries);
   state.counters["episodes"] = static_cast<double>(graph.contact_episode_count());
-  state.counters["parallelism"] = graph.parallelism();
+  state.counters["parallelism"] =
+      state.range(1) == 1 ? dag.parallelism() : graph.parallelism();
 }
 BENCHMARK(BM_CommunityReplay)
-    ->Arg(0)
-    ->Arg(1)
-    ->Arg(4)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({1, 1})
+    ->Args({4, 1})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1)
     ->MeasureProcessCPUTime()

@@ -21,8 +21,10 @@
 #      (-fno-sanitize-recover=undefined).
 #   3. TSan: a -DSOS_SANITIZE=thread build in <build-dir>-tsan runs the
 #      `sweep`-, `fault`-, and `mw`-labelled suites, then re-runs the
-#      randomized multi-community harness with SOS_EPISODE_JOBS=4 so the
-#      episode worker pool is exercised at a fixed width.
+#      randomized multi-community harness twice — with SOS_EPISODE_JOBS=4
+#      and with SOS_SUBEPISODE_JOBS=4 — so both the episode and the
+#      sub-episode (contact-strand) worker pools are exercised at a fixed
+#      width.
 # Each sanitizer stage refuses to report "clean" unless the suite binaries
 # are actually instrumented (stale cache / toolchain dropping the flag):
 #   scripts/run_benches.sh --check build
@@ -103,6 +105,9 @@ if [[ $check -eq 1 ]]; then
   echo "== TSan check: randomized multi-community harness, SOS_EPISODE_JOBS=4 =="
   SOS_EPISODE_JOBS=4 "$tsan_dir/episode_test" \
     --gtest_filter='RandomizedDeterminism.*'
+  echo "== TSan check: randomized multi-community harness, SOS_SUBEPISODE_JOBS=4 =="
+  SOS_SUBEPISODE_JOBS=4 "$tsan_dir/episode_test" \
+    --gtest_filter='RandomizedDeterminism.*:SubepisodeReplay.*'
   echo "lint + ASan/UBSan full suite + TSan sweep/fault/mw suites clean"
   exit 0
 fi

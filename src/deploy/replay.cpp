@@ -15,6 +15,7 @@
 #include "sim/episode.hpp"
 #include "sim/multipeer.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/subepisode.hpp"
 #include "util/mutex.hpp"
 #include "util/rng.hpp"
 
@@ -22,8 +23,9 @@ namespace sos::deploy {
 
 namespace {
 
-/// Everything one episode produces; merged into the ScenarioResult in
-/// episode-index order so the outcome never depends on completion order.
+/// Everything one episode / strand task produces; merged into the
+/// ScenarioResult in task-index order so the outcome never depends on
+/// completion order.
 struct EpisodeOut {
   MetricsOracle oracle;
   std::uint64_t wire_frames = 0;
@@ -34,17 +36,19 @@ struct EpisodeOut {
   std::uint64_t frames_dropped_fault = 0;
 };
 
-/// Shared engine state. Episode workers touch disjoint slices: an episode
-/// only reads/writes its member nodes' state (exclusive by the DAG's
-/// per-node chaining) and its own EpisodeOut slot.
+/// Shared engine state. Workers touch disjoint slices: a task only
+/// reads/writes its member nodes' state (exclusive by the DAG's per-node
+/// chaining) and its own EpisodeOut slot. Exactly one of `graph` (episode
+/// engine) and `dag` (sub-episode strand engine) is set.
 struct EngineState {
   const ScenarioConfig& config;
   const ScenarioWorld& world;
-  /// The trace the episodes index into — the recorded trace, or its
+  /// The trace the tasks index into — the recorded trace, or its
   /// fault-reshaped transform when the plan clips contacts.
   const sim::ContactTrace& trace;
   const sim::FaultPlan* plan;  // compiled fault plan (may be null)
-  const sim::EpisodeGraph& graph;
+  const sim::EpisodeGraph* graph;
+  const sim::ContactDag* dag;
   std::vector<std::unique_ptr<mw::SosNode>>& nodes;
   std::vector<std::unique_ptr<alleyoop::App>>& apps;
   /// Per-node merged workload timelines (posts + floods + reboots).
@@ -55,26 +59,125 @@ struct EngineState {
   double horizon;
 };
 
-/// The Kahn-worker queue: every episode worker (the calling thread plus any
-/// helpers borrowed from the WorkerBudget) coordinates through this state,
-/// all of it guarded by `mu` — the annotations make "touched the ready set
-/// without the lock" a clang -Wthread-safety compile error, not a TSan
-/// coin-flip. `dependents` is deliberately outside the guarded set: it is
-/// written once before any worker starts and read-only afterwards.
+/// The Kahn-worker queue: every worker (the calling thread plus any helpers
+/// borrowed from the WorkerBudget) coordinates through this state, all of
+/// it guarded by `mu` — the annotations make "touched the ready set without
+/// the lock" a clang -Wthread-safety compile error, not a TSan coin-flip.
+/// `dependents` is deliberately outside the guarded set: it is written once
+/// before any worker starts and read-only afterwards.
 struct KahnQueue {
   util::Mutex mu;
   std::condition_variable_any cv;
-  std::set<std::size_t> ready SOS_GUARDED_BY(mu);           // runnable episodes
-  std::vector<std::size_t> pending SOS_GUARDED_BY(mu);      // unmet deps per episode
-  std::size_t running SOS_GUARDED_BY(mu) = 0;               // episodes in flight
-  std::size_t done SOS_GUARDED_BY(mu) = 0;                  // episodes completed
+  std::set<std::size_t> ready SOS_GUARDED_BY(mu);           // runnable tasks
+  std::vector<std::size_t> pending SOS_GUARDED_BY(mu);      // unmet deps per task
+  std::size_t running SOS_GUARDED_BY(mu) = 0;               // tasks in flight
+  std::size_t done SOS_GUARDED_BY(mu) = 0;                  // tasks completed
   std::vector<std::thread> helpers SOS_GUARDED_BY(mu);      // spawned workers
   std::size_t borrowed SOS_GUARDED_BY(mu) = 0;              // budget tokens held
   std::vector<std::vector<std::size_t>> dependents;         // reverse dep edges
 };
 
+/// Execute a task DAG with the annotated KahnQueue worker machinery shared
+/// by the episode and sub-episode engines. `deps_of(i)` returns task i's
+/// dependency list (read-only, stable for the whole call); `body(i)` runs
+/// task i and must touch only state that task owns. One code path for
+/// serial and parallel execution: the calling thread is always a worker;
+/// helpers join it when jobs > 1 or the shared budget grants tokens. The
+/// ordered ready set makes the serial order identical to a dedicated serial
+/// loop, and an uncontended MutexLock per task is noise next to a task's
+/// millisecond-scale replay. Throws if the DAG cannot complete (a cycle).
+void execute_task_dag(std::size_t count,
+                      const std::function<const std::vector<std::size_t>&(std::size_t)>& deps_of,
+                      const std::function<void(std::size_t)>& body, std::size_t jobs,
+                      WorkerBudget* budget, const char* what) {
+  KahnQueue q;
+  q.dependents.resize(count);
+  {
+    util::MutexLock lock(q.mu);
+    q.pending.resize(count, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      q.pending[i] = deps_of(i).size();
+      for (std::size_t d : deps_of(i)) q.dependents[d].push_back(i);
+      if (q.pending[i] == 0) q.ready.insert(i);
+    }
+  }
+
+  std::size_t workers = jobs;
+  if (workers == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    workers = hw > 0 ? hw : 1;
+  }
+
+  std::function<void()> worker;  // named so a worker can spawn another
+  worker = [&] {
+    util::MutexLock lock(q.mu);
+    for (;;) {
+      if (q.done == count) return;
+      if (q.ready.empty()) {
+        if (q.running == 0) return;  // cycle guard: nothing can make progress
+        q.mu.wait(q.cv);
+        continue;
+      }
+      std::size_t i = *q.ready.begin();
+      q.ready.erase(q.ready.begin());
+      ++q.running;
+      lock.unlock();
+      body(i);
+      lock.lock();
+      --q.running;
+      ++q.done;
+      for (std::size_t d : q.dependents[i]) {
+        if (--q.pending[d] == 0) q.ready.insert(d);
+      }
+      // Opportunistic growth: tokens freed by finished sweep cells can be
+      // picked up mid-run (the heavy cell usually starts while its grid
+      // siblings still hold theirs).
+      if (budget != nullptr && q.ready.size() > 1 && q.helpers.size() + 1 < workers &&
+          budget->acquire(1) == 1) {
+        ++q.borrowed;
+        q.helpers.emplace_back(worker);
+      }
+      q.cv.notify_all();
+    }
+  };
+
+  // One worker is this thread; the rest borrow from the shared budget when
+  // one is present (the sweep's thread allowance), else spawn up to the
+  // requested job count.
+  {
+    std::size_t want = workers > 0 ? workers - 1 : 0;
+    util::MutexLock lock(q.mu);
+    if (budget != nullptr) {
+      q.borrowed = budget->acquire(want);
+      want = q.borrowed;
+    }
+    q.helpers.reserve(want);
+    for (std::size_t i = 0; i < want; ++i) q.helpers.emplace_back(worker);
+  }
+  worker();
+  std::size_t completed = 0;
+  std::size_t borrowed = 0;
+  std::vector<std::thread> helpers;
+  {
+    // Wake helpers parked on an empty ready set so they observe done, and
+    // take ownership of the helper list: no helper can spawn another once
+    // done == count (spawning requires finishing a task), so the
+    // swapped-out vector is complete.
+    util::MutexLock lock(q.mu);
+    q.cv.notify_all();
+    helpers.swap(q.helpers);
+    completed = q.done;
+    borrowed = q.borrowed;
+  }
+  for (auto& t : helpers) t.join();
+  if (budget != nullptr && borrowed > 0) budget->release(borrowed);
+  if (completed != count) {
+    throw std::logic_error(std::string(what) + " failed to complete (dependency cycle?)");
+  }
+}
+
 void run_episode(const EngineState& st, std::size_t ei) {
-  const sim::Episode& e = st.graph.episodes()[ei];
+  const sim::Episode& e = st.graph->episodes()[ei];
   const ScenarioConfig& config = st.config;
   util::SimTime t_start = st.horizon;
   for (std::uint32_t n : e.nodes) t_start = std::min(t_start, st.resume_at[n]);
@@ -180,6 +283,143 @@ void run_episode(const EngineState& st, std::size_t ei) {
   // player cancels its leftover events before sched is destroyed.
 }
 
+/// One ContactDag task on its own shard — the sub-episode engine's unit.
+/// The differences from run_episode are exactly the strand semantics:
+/// each member's timeline slice ends at the member's OWN strand end (not
+/// the task's global end), and each member detaches at that strand end via
+/// a scheduled event, so a task whose span overlaps another task's span
+/// never holds a node past its last contact here. Pending timers recorded
+/// at the detach re-arm on the node's next shard at their original
+/// absolute deadlines — every such deadline is >= the detach time, and the
+/// next shard starts no later than this node's resume point, so nothing is
+/// ever clamped differently than the single-scheduler path.
+void run_strand_task(const EngineState& st, std::size_t ti) {
+  const sim::ContactTask& task = st.dag->tasks()[ti];
+  const ScenarioConfig& config = st.config;
+  const bool tail = task.contacts.empty();
+  util::SimTime t_start = st.horizon;
+  for (const sim::ContactStrand& s : task.strands)
+    t_start = std::min(t_start, st.resume_at[s.node]);
+  const util::SimTime t_end = tail ? st.horizon : task.last_end;
+
+  sim::Scheduler sched(t_start);
+  sim::MpcNetwork net(sched, config.nodes, config.radio);
+  if (st.plan != nullptr) net.set_fault_plan(st.plan);
+
+  sim::ContactTrace sub;
+  for (std::size_t ci : task.contacts) sub.add(st.trace.contacts()[ci]);
+  sim::TracePlayer player(sched, std::move(sub));
+  player.on_contact_start = [&net](std::uint32_t a, std::uint32_t b) {
+    net.set_in_range(static_cast<sim::PeerId>(a), static_cast<sim::PeerId>(b), true);
+  };
+  player.on_contact_end = [&net](std::uint32_t a, std::uint32_t b) {
+    net.set_in_range(static_cast<sim::PeerId>(a), static_cast<sim::PeerId>(b), false);
+  };
+  player.start();
+
+  EpisodeOut& out = st.outs[ti];
+  const sim::TrajectoryMobility& mobility = st.world.mobility;
+
+  // Attach members in ascending node order (strands are sorted by node) —
+  // the order the single-scheduler path registers their timers in.
+  for (const sim::ContactStrand& s : task.strands) {
+    mw::SosNode& node = *st.nodes[s.node];
+    node.attach(sched, net.endpoint(static_cast<sim::PeerId>(s.node)));
+    std::size_t idx = s.node;
+    node.on_carry = [&out, &node, &sched, &mobility, idx](const bundle::Bundle& b) {
+      out.oracle.record_carry(
+          {b.id(), node.user_id(), sched.now(), mobility.position(idx, sched.now())});
+    };
+    node.on_data = [&out, &node, &sched, &mobility, idx](const bundle::Bundle& b,
+                                                         const pki::Certificate&) {
+      out.oracle.record_delivery({b.id(), node.user_id(), sched.now(), b.hop_count,
+                                  mobility.position(idx, sched.now())});
+    };
+  }
+
+  // Each member's timeline slice runs to ITS strand end: a post after a
+  // node's last contact in this task belongs to the node's next shard,
+  // where it fires at the same absolute time with the same local state.
+  for (const sim::ContactStrand& s : task.strands) {
+    const util::SimTime cutoff = tail ? st.horizon : s.last_end;
+    const std::vector<detail::TimelineEvent>& tl = st.timelines[s.node];
+    std::size_t& cursor = st.timeline_cursor[s.node];
+    while (cursor < tl.size() && tl[cursor].t <= cutoff) {
+      const detail::TimelineEvent& ev = tl[cursor];
+      const std::size_t idx = s.node;
+      alleyoop::App& app = *st.apps[s.node];
+      mw::SosNode& node = *st.nodes[s.node];
+      switch (ev.kind) {
+        case detail::TimelineEvent::Kind::Post:
+          sched.schedule_at(ev.t, [&out, &app, &node, &sched, &mobility, idx, k = ev.k] {
+            auto post =
+                app.post("post #" + std::to_string(k) + " by user" + std::to_string(idx));
+            out.oracle.record_post({{node.user_id(), post.msg_num},
+                                    node.user_id(),
+                                    sched.now(),
+                                    mobility.position(idx, sched.now())});
+          });
+          break;
+        case detail::TimelineEvent::Kind::Flood:
+          sched.schedule_at(ev.t, [&node, idx, k = ev.k] {
+            node.publish(util::to_bytes("junk #" + std::to_string(k) + " from user" +
+                                        std::to_string(idx)));
+          });
+          break;
+        case detail::TimelineEvent::Kind::Reboot:
+          sched.schedule_at(ev.t, [&node, churn = ev.churn] {
+            node.reboot(churn->lose_store, churn->lose_resume_cache);
+          });
+          break;
+      }
+      ++cursor;
+    }
+  }
+
+  // Per-member detach at the strand end, via segmented execution: run the
+  // shard up to each distinct strand end and detach that group only after
+  // run_until returns. A scheduled detach event would be unsound here —
+  // contact teardown cascades through zero-delay events (drop_session
+  // notifies on_disconnected via schedule_in(0), which triggers the session
+  // drop and the adaptive verify flush), and those land *behind* any
+  // pre-scheduled event at the same timestamp. run_until(t) drains every
+  // cascade at t first, exactly like run_episode's detach-after-run — so by
+  // the time a member detaches, its sessions have already died the same
+  // death (and flushed the same queues) as on the single-scheduler path.
+  if (!tail) {
+    std::map<util::SimTime, std::vector<std::uint32_t>> detach_groups;
+    for (const sim::ContactStrand& s : task.strands)
+      detach_groups[s.last_end].push_back(s.node);
+    for (const auto& [at, members] : detach_groups) {
+      sched.run_until(at);
+      for (std::uint32_t n : members) {
+        mw::SosNode& node = *st.nodes[n];
+        node.on_carry = nullptr;
+        node.on_data = nullptr;
+        node.detach();
+      }
+    }
+  } else {
+    sched.run_until(t_end);
+    for (const sim::ContactStrand& s : task.strands) {
+      mw::SosNode& node = *st.nodes[s.node];
+      node.on_carry = nullptr;
+      node.on_data = nullptr;
+      node.detach();
+    }
+  }
+
+  for (const sim::ContactStrand& s : task.strands)
+    st.resume_at[s.node] = tail ? t_end : s.last_end;
+  out.wire_frames = net.frames_sent();
+  out.wire_bytes = net.bytes_sent();
+  out.connections = net.connections_established();
+  out.connections_failed = net.connections_failed();
+  out.frames_lost = net.frames_lost();
+  out.frames_dropped_fault = net.frames_dropped_fault();
+  // player cancels its leftover events before sched is destroyed.
+}
+
 }  // namespace
 
 ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
@@ -188,8 +428,8 @@ ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
   const double horizon = util::days(config.days);
 
   // Compiled fault plan; trace-reshaping faults transform the recorded
-  // trace BEFORE partitioning, so the episode DAG decomposes the same
-  // faulted world the single-scheduler path replays.
+  // trace BEFORE partitioning, so the task DAG decomposes the same faulted
+  // world the single-scheduler path replays.
   std::optional<sim::FaultPlan> fault_plan;
   if (config.faults.any()) fault_plan.emplace(config.faults, config.seed, config.nodes);
   const sim::FaultPlan* plan = fault_plan ? &*fault_plan : nullptr;
@@ -199,7 +439,20 @@ ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
     faulted = plan->apply(world.trace);
     trace = &faulted;
   }
-  sim::EpisodeGraph graph = sim::EpisodeGraph::partition(*trace, config.nodes, horizon);
+
+  // Engine selection: subepisode_jobs > 0 cuts at contact-strand granularity
+  // (sim::ContactDag), else at episode granularity (sim::EpisodeGraph).
+  const bool strands = replay.subepisode_jobs > 0;
+  sim::EpisodeGraph graph;
+  sim::ContactDag dag;
+  std::size_t task_count = 0;
+  if (strands) {
+    dag = sim::ContactDag::partition(*trace, config.nodes, horizon);
+    task_count = dag.tasks().size();
+  } else {
+    graph = sim::EpisodeGraph::partition(*trace, config.nodes, horizon);
+    task_count = graph.episodes().size();
+  }
 
   // --- RNG streams, consumed in exactly the single-scheduler order --------
   util::Rng rng(config.seed);
@@ -210,11 +463,11 @@ ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
 
   // --- fleet setup on a staging substrate ---------------------------------
   // Nodes are constructed and started against a scheduler that never runs
-  // an event (only timer deadlines register), then detached; each episode
+  // an event (only timer deadlines register), then detached; each task
   // attaches its members to its own shard.
   sim::Scheduler staging;
   sim::MpcNetwork staging_net(staging, config.nodes, config.radio);
-  // Shared across nodes AND episode workers; a caller-owned memo
+  // Shared across nodes AND task workers; a caller-owned memo
   // (replay.memo, the sweep-wide scope) takes precedence over the run-local
   // one so a cell's variants collapse their cross-variant re-verifies too.
   crypto::VerifyMemo run_memo;
@@ -238,103 +491,39 @@ ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
   std::vector<std::size_t> timeline_cursor(config.nodes, 0);
   std::vector<util::SimTime> resume_at(config.nodes, 0.0);
 
-  const auto& episodes = graph.episodes();
-  std::vector<EpisodeOut> outs(episodes.size());
-  EngineState st{config, world,     *trace,          plan,      graph, nodes,
-                 apps,   timelines, timeline_cursor, resume_at, outs,  horizon};
+  std::vector<EpisodeOut> outs(task_count);
+  EngineState st{config,
+                 world,
+                 *trace,
+                 plan,
+                 strands ? nullptr : &graph,
+                 strands ? &dag : nullptr,
+                 nodes,
+                 apps,
+                 timelines,
+                 timeline_cursor,
+                 resume_at,
+                 outs,
+                 horizon};
 
-  // --- execute the episode DAG --------------------------------------------
-  // One code path for serial and parallel execution: the calling thread is
-  // always a worker; helpers join it when jobs > 1 or the shared budget
-  // grants tokens. The ordered ready set makes the serial order identical
-  // to the old dedicated serial loop, and an uncontended MutexLock per
-  // episode is noise next to an episode's millisecond-scale replay.
-  KahnQueue q;
-  q.dependents.resize(episodes.size());
-  {
-    util::MutexLock lock(q.mu);
-    q.pending.resize(episodes.size(), 0);
-    for (std::size_t i = 0; i < episodes.size(); ++i) {
-      q.pending[i] = episodes[i].deps.size();
-      for (std::size_t d : episodes[i].deps) q.dependents[d].push_back(i);
-      if (q.pending[i] == 0) q.ready.insert(i);
-    }
+  // --- execute the task DAG ------------------------------------------------
+  if (strands) {
+    execute_task_dag(
+        task_count,
+        [&](std::size_t i) -> const std::vector<std::size_t>& { return dag.tasks()[i].deps; },
+        [&](std::size_t i) { run_strand_task(st, i); }, replay.subepisode_jobs, replay.budget,
+        "contact-strand DAG");
+  } else {
+    execute_task_dag(
+        task_count,
+        [&](std::size_t i) -> const std::vector<std::size_t>& {
+          return graph.episodes()[i].deps;
+        },
+        [&](std::size_t i) { run_episode(st, i); }, replay.jobs, replay.budget,
+        "episode graph");
   }
 
-  std::size_t workers = replay.jobs;
-  if (workers == 0) {
-    unsigned hw = std::thread::hardware_concurrency();
-    workers = hw > 0 ? hw : 1;
-  }
-
-  std::function<void()> worker;  // named so a worker can spawn another
-  worker = [&] {
-    util::MutexLock lock(q.mu);
-    for (;;) {
-      if (q.done == episodes.size()) return;
-      if (q.ready.empty()) {
-        if (q.running == 0) return;  // cycle guard: nothing can make progress
-        q.mu.wait(q.cv);
-        continue;
-      }
-      std::size_t i = *q.ready.begin();
-      q.ready.erase(q.ready.begin());
-      ++q.running;
-      lock.unlock();
-      run_episode(st, i);
-      lock.lock();
-      --q.running;
-      ++q.done;
-      for (std::size_t d : q.dependents[i]) {
-        if (--q.pending[d] == 0) q.ready.insert(d);
-      }
-      // Opportunistic growth: tokens freed by finished sweep cells can be
-      // picked up mid-run (the heavy cell usually starts while its grid
-      // siblings still hold theirs).
-      if (replay.budget != nullptr && q.ready.size() > 1 &&
-          q.helpers.size() + 1 < workers && replay.budget->acquire(1) == 1) {
-        ++q.borrowed;
-        q.helpers.emplace_back(worker);
-      }
-      q.cv.notify_all();
-    }
-  };
-
-  // One worker is this thread; the rest borrow from the shared budget when
-  // one is present (the sweep's thread allowance), else spawn up to the
-  // requested job count.
-  {
-    std::size_t want = workers > 0 ? workers - 1 : 0;
-    util::MutexLock lock(q.mu);
-    if (replay.budget != nullptr) {
-      q.borrowed = replay.budget->acquire(want);
-      want = q.borrowed;
-    }
-    q.helpers.reserve(want);
-    for (std::size_t i = 0; i < want; ++i) q.helpers.emplace_back(worker);
-  }
-  worker();
-  std::size_t completed = 0;
-  std::size_t borrowed = 0;
-  std::vector<std::thread> helpers;
-  {
-    // Wake helpers parked on an empty ready set so they observe done, and
-    // take ownership of the helper list: no helper can spawn another once
-    // done == episodes.size() (spawning requires finishing an episode), so
-    // the swapped-out vector is complete.
-    util::MutexLock lock(q.mu);
-    q.cv.notify_all();
-    helpers.swap(q.helpers);
-    completed = q.done;
-    borrowed = q.borrowed;
-  }
-  for (auto& t : helpers) t.join();
-  if (replay.budget != nullptr && borrowed > 0) replay.budget->release(borrowed);
-  if (completed != episodes.size()) {
-    throw std::logic_error("episode graph failed to complete (dependency cycle?)");
-  }
-
-  // --- merge, in episode-index order ---------------------------------------
+  // --- merge, in task-index order ------------------------------------------
   for (const EpisodeOut& out : outs) {
     for (const auto& r : out.oracle.posts()) result.oracle.record_post(r);
     for (const auto& r : out.oracle.carries()) result.oracle.record_carry(r);

@@ -1,10 +1,22 @@
-// Episode-partitioned replay engine. A recorded ScenarioWorld fixes every
-// contact before replay begins, so sim::EpisodeGraph can cut the run into
-// causally-independent episodes; this engine executes that DAG — one
-// scheduler/network shard per episode, per-node middleware state carried
-// across shard boundaries through the SosNode detach/attach seam — and
-// merges per-episode metrics in deterministic episode order. Results are
-// bitwise identical to the single-scheduler replay at any worker count.
+// Partitioned replay engines. A recorded ScenarioWorld fixes every contact
+// before replay begins, so the run can be cut into a task DAG and executed
+// on scheduler/network shards, per-node middleware state carried across
+// shard boundaries through the SosNode detach/attach seam. Two partition
+// granularities share one annotated Kahn worker machinery:
+//
+//   * episodes (sim::EpisodeGraph, ReplayOptions::partition/jobs): nodes
+//     stay attached until the episode's global end, so overlapping node
+//     windows fuse — conservative, but a dense single-hotspot day
+//     collapses to one serial episode;
+//   * contact strands (sim::ContactDag, ReplayOptions::subepisode_jobs):
+//     each member detaches at its own last contact within a task, cutting
+//     node timelines into strands between consecutive contacts — the
+//     recorded trace is the conservative-lookahead oracle that makes this
+//     safe without any null-message protocol.
+//
+// Per-task metrics merge in deterministic task-index order; results are
+// bitwise identical to the single-scheduler replay on both engines at any
+// worker count.
 #pragma once
 
 #include <atomic>
@@ -51,9 +63,11 @@ class WorkerBudget {
   std::atomic<std::size_t> available_;
 };
 
-/// Run `config` over the recorded world on the episode-partitioned engine.
-/// Called through run_scenario(config, &world, {.partition = true, ...});
-/// exposed for tests that want the engine unconditionally.
+/// Run `config` over the recorded world on a partitioned engine — the
+/// sub-episode strand engine when replay.subepisode_jobs > 0, else the
+/// episode engine. Called through run_scenario(config, &world,
+/// {.partition = true, ...}) or {.subepisode_jobs = N}; exposed for tests
+/// that want a partitioned engine unconditionally.
 ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
                                         const ScenarioWorld& world,
                                         const ReplayOptions& replay);

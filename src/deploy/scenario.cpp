@@ -215,7 +215,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config, const ScenarioWorld* w
     std::shared_ptr<const ScenarioWorld> recorded = record_world(config);
     return run_scenario(config, recorded.get(), replay);
   }
-  if (world != nullptr && replay.partition) {
+  if (world != nullptr && (replay.partition || replay.subepisode_jobs > 0)) {
     return replay_scenario_episodes(config, *world, replay);
   }
 

@@ -144,6 +144,15 @@ struct ReplayOptions {
   /// certificates per variant, so cross-variant re-verifies collapse too.
   /// Thread-safe; metrics are bitwise identical to the run-local scope.
   crypto::VerifyMemo* memo = nullptr;
+  /// > 0: replay on the sub-episode (contact-strand) engine instead — the
+  /// trace is cut by sim::ContactDag (per-node hull fusion instead of
+  /// episode global-span fusion) and each member detaches at its own last
+  /// contact in a task, so dense single-hotspot traces that EpisodeGraph
+  /// must serialize decompose into concurrent strand tasks. The value is
+  /// the worker count for that engine (`partition`/`jobs` are then unused);
+  /// metrics are bitwise identical to both other engines at any value.
+  /// 0 = episode engine when `partition` is set, single scheduler otherwise.
+  std::size_t subepisode_jobs = 0;
 };
 
 /// Build and run the scenario to completion. With `world`, the recorded

@@ -3,6 +3,7 @@
 #include "crypto/verify_memo.hpp"
 #include "deploy/replay.hpp"
 #include "sim/episode.hpp"
+#include "sim/subepisode.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -98,6 +99,8 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) co
   std::vector<std::unique_ptr<crypto::VerifyMemo>> memos(cells.size());
   std::vector<double> parallelism(cells.size(), 0.0);
   std::vector<std::size_t> episode_counts(cells.size(), 0);
+  std::vector<double> strand_parallelism(cells.size(), 0.0);
+  std::vector<std::size_t> strand_width(cells.size(), 0);
 
   // Nested parallelism: cell workers and episode workers draw on one token
   // pool sized to the job count. Tokens not consumed by cell workers (and
@@ -107,10 +110,12 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) co
   std::size_t cell_workers =
       (opts_.jobs <= 1 || items.size() <= 1) ? 1 : std::min(opts_.jobs, items.size());
   WorkerBudget budget(opts_.jobs > cell_workers ? opts_.jobs - cell_workers : 0);
+  const bool partitioned = opts_.episode_jobs > 0 || opts_.subepisode_jobs > 0;
   ReplayOptions replay;
   replay.partition = opts_.episode_jobs > 0;
   replay.jobs = opts_.episode_jobs > 0 ? opts_.episode_jobs : 1;
-  replay.budget = opts_.episode_jobs > 0 ? &budget : nullptr;
+  replay.subepisode_jobs = opts_.subepisode_jobs;  // > 0 selects the strand engine
+  replay.budget = partitioned ? &budget : nullptr;
 
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
@@ -128,6 +133,10 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) co
               worlds[item.cell]->trace, config.nodes, util::days(config.days));
           parallelism[item.cell] = graph.parallelism();
           episode_counts[item.cell] = graph.contact_episode_count();
+          sim::ContactDag dag = sim::ContactDag::partition(
+              worlds[item.cell]->trace, config.nodes, util::days(config.days));
+          strand_parallelism[item.cell] = dag.parallelism();
+          strand_width[item.cell] = dag.width();
           if (opts_.cell_verify_memo) {
             memos[item.cell] = std::make_unique<crypto::VerifyMemo>();
           }
@@ -149,6 +158,8 @@ std::vector<CellResult> SweepRunner::run(const std::vector<SweepCell>& cells) co
       out.replayed = world != nullptr;
       out.episode_parallelism = parallelism[item.cell];
       out.episodes = episode_counts[item.cell];
+      out.subepisode_parallelism = strand_parallelism[item.cell];
+      out.subepisode_width = strand_width[item.cell];
     }
     // This cell worker is done: hand its thread token to the episode
     // engines of cells still running.
@@ -188,6 +199,9 @@ SweepOptions sweep_options_from_args(int argc, char** argv) {
   if (const char* env = std::getenv("SOS_EPISODE_JOBS")) {
     opts.episode_jobs = parse_jobs(env, opts.episode_jobs, "SOS_EPISODE_JOBS");
   }
+  if (const char* env = std::getenv("SOS_SUBEPISODE_JOBS")) {
+    opts.subepisode_jobs = parse_jobs(env, opts.subepisode_jobs, "SOS_SUBEPISODE_JOBS");
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
@@ -206,6 +220,15 @@ SweepOptions sweep_options_from_args(int argc, char** argv) {
       }
     } else if (std::strncmp(arg, "--episode-jobs=", 15) == 0) {
       opts.episode_jobs = parse_jobs(arg + 15, opts.episode_jobs, "--episode-jobs");
+    } else if (std::strcmp(arg, "--subepisode-jobs") == 0) {
+      if (i + 1 < argc) {
+        opts.subepisode_jobs =
+            parse_jobs(argv[++i], opts.subepisode_jobs, "--subepisode-jobs");
+      } else {
+        std::fprintf(stderr, "warning: %s needs a value; ignoring\n", arg);
+      }
+    } else if (std::strncmp(arg, "--subepisode-jobs=", 18) == 0) {
+      opts.subepisode_jobs = parse_jobs(arg + 18, opts.subepisode_jobs, "--subepisode-jobs");
     } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
       opts.jobs = parse_jobs(arg + 2, opts.jobs, "-j");
     }

@@ -68,6 +68,15 @@ struct CellResult {
   /// visible in the bench tables, not only from tests.
   double episode_parallelism = 0.0;
   std::size_t episodes = 0;      // contact episodes in that partition
+  /// The same ceiling at contact-strand granularity
+  /// (sim::ContactDag::parallelism()): always >= episode_parallelism, and
+  /// the gap is exactly what --subepisode-jobs can exploit that
+  /// --episode-jobs cannot.
+  double subepisode_parallelism = 0.0;
+  /// Max contact tasks concurrently open in sim time
+  /// (sim::ContactDag::width()); the single-hotspot cells report width > 1
+  /// even where episode parallelism sits at ~1.0.
+  std::size_t subepisode_width = 0;
 };
 
 struct SweepOptions {
@@ -89,6 +98,12 @@ struct SweepOptions {
   /// threads, so the sweep never runs more than `jobs` + episode_jobs - 1
   /// busy threads and usually far fewer. 0 = single-scheduler replay.
   std::size_t episode_jobs = 0;
+  /// > 0: replay each cell on the sub-episode (contact-strand) engine with
+  /// this many strand-level workers per cell instead (takes precedence over
+  /// episode_jobs; metrics are bitwise identical on every engine). Workers
+  /// share the same `jobs`-sized token pool as cell- and episode-level
+  /// workers, so the three levels together never oversubscribe the request.
+  std::size_t subepisode_jobs = 0;
   /// Sweep-wide verify memo: all variants of a cell replay against one
   /// shared crypto::VerifyMemo (they share one recorded world, hence
   /// identical bundles and certificates), so each distinct signature pays
@@ -124,8 +139,12 @@ class SweepRunner {
   SweepOptions opts_;
 };
 
-/// Bench-driver CLI: parses `--jobs N` (and bare `-jN`); falls back to the
-/// SOS_SWEEP_JOBS environment variable, then to serial.
+/// Bench-driver CLI: parses `--jobs N` (and bare `-jN`), `--episode-jobs N`
+/// and `--subepisode-jobs N`; falls back to the SOS_SWEEP_JOBS /
+/// SOS_EPISODE_JOBS / SOS_SUBEPISODE_JOBS environment variables, then to
+/// serial. Every value is validated the same way: non-numeric or negative
+/// input warns and keeps the previous value — a typo must not mean "all
+/// cores".
 SweepOptions sweep_options_from_args(int argc, char** argv);
 
 /// The canonical density-ablation grid (§VI-B follow-up): the deployment's

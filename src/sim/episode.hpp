@@ -4,6 +4,16 @@
 // groups of contacts whose nodes are causally independent of every other
 // concurrent group — and each episode replayed on its own scheduler shard.
 //
+// This is the coarser of the two partition levels the replay engines use:
+// an episode holds every member node until the episode's *global* end, so
+// step 2 below must fuse a node's overlapping windows — which chains a
+// dense single-hotspot day into one serial episode. The finer level,
+// sim::ContactDag (sim/subepisode.hpp), keeps only step 1 and instead
+// detaches each member at its own last contact within a task, cutting each
+// node's timeline into strands between consecutive contacts — recorded-
+// trace conservative lookahead that parallelizes *inside* what this graph
+// must treat as one episode.
+//
 // Construction is conservative, never speculative:
 //
 //   1. Contacts that share a node and overlap in time are fused (their

@@ -18,7 +18,7 @@ struct RadioParams {
   double range_m = 80.0;            // peer-to-peer WiFi class range
   double bandwidth_bps = 2e6 * 8;   // ~2 MB/s peer-to-peer WiFi
   double latency_s = 0.02;
-  double setup_time_s = 1.5;        // MPC invite/han dshake wall time
+  double setup_time_s = 1.5;        // MPC invite/handshake wall time
 };
 
 /// Watches a mobility model and reports contact start/end between pairs.

@@ -1,9 +1,10 @@
-// Episode-partitioned replay suite (`ctest -L sweep`): the EpisodeGraph
-// partition invariants, the determinism pins the engine's whole value rests
-// on — episode replay at any worker count is bitwise identical to the
-// single-scheduler replay — and the cross-segment state handoff (a bundle
-// picked up in episode k is delivered in episode k+1 through the SosNode
-// detach/attach seam).
+// Partitioned replay suite (`ctest -L sweep`): the EpisodeGraph and
+// ContactDag partition invariants, the determinism pins the engines' whole
+// value rests on — episode replay AND sub-episode strand replay at any
+// worker count are bitwise identical to the single-scheduler replay — and
+// the cross-segment state handoffs (a bundle picked up in episode k is
+// delivered in episode k+1, and a bundle crosses three contact strands
+// inside one episode, through the SosNode detach/attach seam).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -16,6 +17,7 @@
 #include "sim/episode.hpp"
 #include "sim/mobility.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/subepisode.hpp"
 #include "util/rng.hpp"
 
 namespace sd = sos::deploy;
@@ -165,6 +167,63 @@ TEST(EpisodeGraph, EveryNodeTimelineIsCoveredExactlyOncePerStep) {
   }
 }
 
+// --- ContactDag (sub-episode) partition invariants ---------------------------
+
+TEST(ContactDag, SpanFusionIsDroppedButOverlapFusionStays) {
+  // The exact trace EpisodeGraph.NodeWindowOverlapFusesClusters must fuse
+  // into ONE episode splits into TWO strand tasks: (0,1)@[50,60] overlaps
+  // no contact at a shared node, and node 1 detaches at t=30 — well before
+  // its next contact at 50 — so span overlap alone forces nothing.
+  auto trace = make_trace({{0, 30, 1, 2}, {20, 100, 2, 3}, {50, 60, 0, 1}});
+  auto graph = ss::EpisodeGraph::partition(trace, 4, 1000);
+  EXPECT_EQ(graph.contact_episode_count(), 1u);
+  auto dag = ss::ContactDag::partition(trace, 4, 1000);
+  ASSERT_EQ(dag.contact_task_count(), 2u);
+  const ss::ContactTask& a = dag.tasks()[0];
+  const ss::ContactTask& b = dag.tasks()[1];
+  EXPECT_EQ(a.contacts, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(b.contacts, (std::vector<std::size_t>{2}));
+  // Node 1's strand in A ends at 30, its strand in B starts at 50: a real
+  // gap, crossed by the chain dep that hands node 1's state to B's shard.
+  ASSERT_EQ(a.strands.size(), 3u);
+  EXPECT_EQ(a.strands[0].node, 1u);
+  EXPECT_DOUBLE_EQ(a.strands[0].last_end, 30.0);
+  EXPECT_EQ(b.deps, (std::vector<std::size_t>{0}));
+  // The two spans still overlap in sim time — concurrency the episode
+  // engine cannot see (its parallelism here is exactly 1.0).
+  EXPECT_EQ(dag.width(), 2u);
+}
+
+TEST(ContactDag, TouchingContactsSharingANodeFuse) {
+  // Back-to-back contacts of node 1: both produce events at t=100, which
+  // must land on one scheduler shard — touching intervals fuse, which is
+  // also what makes strand windows across tasks *strictly* disjoint.
+  auto trace = make_trace({{0, 100, 0, 1}, {100, 200, 1, 2}});
+  auto dag = ss::ContactDag::partition(trace, 3, 1000);
+  EXPECT_EQ(dag.contact_task_count(), 1u);
+}
+
+TEST(ContactDag, SequentialContactsChainAndConcurrentPairsStayParallel) {
+  // Node 1 meets 0 then 2 (chained through node 1's strand sequence);
+  // (3,4) overlaps both in time but shares no node, so it rides a third,
+  // independent task.
+  auto trace = make_trace({{0, 100, 0, 1}, {200, 300, 1, 2}, {50, 250, 3, 4}});
+  auto dag = ss::ContactDag::partition(trace, 5, 1000);
+  ASSERT_EQ(dag.contact_task_count(), 3u);
+  EXPECT_TRUE(dag.tasks()[0].deps.empty());
+  EXPECT_EQ(dag.tasks()[1].deps, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(dag.tasks()[2].deps.empty());
+  EXPECT_EQ(dag.width(), 2u);
+  EXPECT_DOUBLE_EQ(dag.parallelism(), 1.5);  // 3 contacts / chain of 2
+  // The tail covers every node's idle run-out and follows each node's last
+  // contact task.
+  const ss::ContactTask& tail = dag.tasks().back();
+  EXPECT_TRUE(tail.contacts.empty());
+  EXPECT_EQ(tail.strands.size(), 5u);
+  EXPECT_DOUBLE_EQ(tail.last_end, 1000.0);
+  EXPECT_EQ(tail.deps, (std::vector<std::size_t>{0, 1, 2}));
+}
+
 // --- scheduler shards --------------------------------------------------------
 
 TEST(Scheduler, ShardStartsAtGivenTime) {
@@ -254,8 +313,9 @@ TEST(EpisodeReplay, SharedVerifyMemoDoesNotChangeMetrics) {
 }
 
 TEST(EpisodeReplay, SweepRunnerEpisodeJobsMatchesSingleScheduler) {
-  // The sweep-level integration: episode_jobs toggles the engine per cell
-  // (with the nested worker budget); the grid's metrics must not move.
+  // The sweep-level integration: episode_jobs / subepisode_jobs toggle the
+  // engine per cell (with the nested worker budget); the grid's metrics
+  // must not move on either.
   auto grid_cell = [] {
     sd::SweepCell cell;
     cell.label = "eq";
@@ -273,10 +333,18 @@ TEST(EpisodeReplay, SweepRunnerEpisodeJobsMatchesSingleScheduler) {
   episode_opts.jobs = 2;
   episode_opts.episode_jobs = 2;
   auto sharded = sd::SweepRunner(episode_opts).run({grid_cell()});
+  sd::SweepOptions strand_opts;
+  strand_opts.jobs = 2;
+  strand_opts.subepisode_jobs = 2;
+  auto stranded = sd::SweepRunner(strand_opts).run({grid_cell()});
   ASSERT_EQ(baseline.size(), sharded.size());
+  ASSERT_EQ(baseline.size(), stranded.size());
   for (std::size_t i = 0; i < baseline.size(); ++i) {
     EXPECT_EQ(fingerprint(baseline[i].result), fingerprint(sharded[i].result))
         << baseline[i].label;
+    EXPECT_EQ(fingerprint(baseline[i].result), fingerprint(stranded[i].result))
+        << baseline[i].label << " (strand engine)";
+    EXPECT_EQ(baseline[i].config.seed, stranded[i].config.seed);
     EXPECT_EQ(baseline[i].config.seed, sharded[i].config.seed);
   }
 }
@@ -285,12 +353,13 @@ TEST(EpisodeReplay, SweepRunnerEpisodeJobsMatchesSingleScheduler) {
 
 namespace {
 
-/// Episode jobs to sweep per sampled world. SOS_EPISODE_JOBS (when numeric)
-/// joins the set, so `run_benches.sh --check` can push the TSan run to a
+/// Worker counts to sweep per sampled world, per engine: SOS_EPISODE_JOBS
+/// (episode engine) / SOS_SUBEPISODE_JOBS (strand engine), when numeric,
+/// join the set, so `run_benches.sh --check` can push the TSan run to a
 /// specific worker count without editing the test.
-std::vector<std::size_t> harness_jobs() {
+std::vector<std::size_t> harness_jobs(const char* env_var) {
   std::vector<std::size_t> jobs{1, 2, 4};
-  if (const char* env = std::getenv("SOS_EPISODE_JOBS")) {
+  if (const char* env = std::getenv(env_var)) {
     char* end = nullptr;
     long v = std::strtol(env, &end, 10);
     if (end != env && *end == '\0' && v > 0 &&
@@ -344,16 +413,95 @@ void check_partition_invariants(const ss::ContactTrace& trace, const ss::Episode
   }
 }
 
+/// The sub-episode analogue, checked on the same sampled traces: complete
+/// coverage, strands that hull their node's contacts, strictly disjoint
+/// per-node strand windows (touching contacts fuse, so the engine's detach
+/// point always precedes the next attach with a real gap), a direct chain
+/// dep between each node's consecutive tasks (per-node chaining is the
+/// DAG's *entire* ordering, so its completeness is the determinism
+/// argument), tail coverage, and a width that matches a brute-force count
+/// of concurrently open task spans.
+void check_contactdag_invariants(const ss::ContactTrace& trace, const ss::ContactDag& dag,
+                                 std::size_t nodes, double horizon) {
+  const auto& tasks = dag.tasks();
+  ASSERT_EQ(tasks.size(), dag.contact_task_count() + 1);
+
+  std::set<std::size_t> seen;
+  for (std::size_t ti = 0; ti < dag.contact_task_count(); ++ti) {
+    for (std::size_t ci : tasks[ti].contacts) {
+      EXPECT_TRUE(seen.insert(ci).second) << "contact " << ci << " in two tasks";
+      const auto& c = trace.contacts()[ci];
+      for (std::uint32_t endpoint : {c.a, c.b}) {
+        auto it = std::find_if(
+            tasks[ti].strands.begin(), tasks[ti].strands.end(),
+            [&](const ss::ContactStrand& s) { return s.node == endpoint; });
+        ASSERT_NE(it, tasks[ti].strands.end())
+            << "task " << ti << " misses a strand for node " << endpoint;
+        EXPECT_LE(it->first_start, c.start);
+        EXPECT_GE(it->last_end, c.end);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), trace.size());
+
+  const ss::ContactTask& tail = tasks.back();
+  EXPECT_TRUE(tail.contacts.empty());
+  EXPECT_EQ(tail.strands.size(), nodes);
+  EXPECT_DOUBLE_EQ(tail.last_end, horizon);
+
+  // Per node: strand windows across tasks, in time order, are strictly
+  // disjoint, and every consecutive pair is joined by a direct chain dep
+  // (the tail follows the node's last contact task).
+  for (std::uint32_t node = 0; node < nodes; ++node) {
+    std::vector<std::pair<std::pair<double, double>, std::size_t>> windows;
+    for (std::size_t ti = 0; ti < dag.contact_task_count(); ++ti) {
+      for (const ss::ContactStrand& s : tasks[ti].strands) {
+        if (s.node == node) windows.push_back({{s.first_start, s.last_end}, ti});
+      }
+    }
+    std::sort(windows.begin(), windows.end());
+    for (std::size_t i = 1; i < windows.size(); ++i) {
+      EXPECT_GT(windows[i].first.first, windows[i - 1].first.second)
+          << "node " << node << " strand " << i << " not strictly after the previous";
+      const auto& deps = tasks[windows[i].second].deps;
+      EXPECT_TRUE(std::find(deps.begin(), deps.end(), windows[i - 1].second) != deps.end())
+          << "node " << node << ": task " << windows[i].second
+          << " missing its chain dep on task " << windows[i - 1].second;
+    }
+    if (!windows.empty()) {
+      EXPECT_TRUE(std::find(tail.deps.begin(), tail.deps.end(), windows.back().second) !=
+                  tail.deps.end())
+          << "tail missing its chain dep for node " << node;
+    }
+  }
+
+  // width() == max concurrently open task spans, brute-forced at every task
+  // start (each open task has a contact open or pending at that instant, so
+  // this is the measured-concurrent-contacts bound of the hotspot cells).
+  std::size_t brute = 0;
+  for (std::size_t i = 0; i < dag.contact_task_count(); ++i) {
+    const double t = tasks[i].first_start;
+    std::size_t open = 0;
+    for (std::size_t j = 0; j < dag.contact_task_count(); ++j) {
+      if (tasks[j].first_start <= t && tasks[j].last_end > t) ++open;
+    }
+    brute = std::max(brute, open);
+  }
+  EXPECT_EQ(dag.width(), brute);
+}
+
 }  // namespace
 
 TEST(RandomizedDeterminism, MultiCommunityWorldsAreBitwiseIdenticalAcrossEngines) {
   // ~50 random worlds across the community knob space (1-4 communities,
   // 0-30% bridge commuters, mixed schemes/windows, seeds via derive_seed):
-  // every sampled trace must satisfy the partition invariants, and episode
-  // replay must be bitwise identical to the single-scheduler replay at
-  // every worker count. This is the pin that lets the community mobility
-  // subsystem ride the parallel engine without a determinism leap of faith.
-  const std::vector<std::size_t> jobs = harness_jobs();
+  // every sampled trace must satisfy the partition invariants of BOTH
+  // granularities, and episode replay AND sub-episode strand replay must be
+  // bitwise identical to the single-scheduler replay at every worker count.
+  // This is the pin that lets the community mobility subsystem ride the
+  // parallel engines without a determinism leap of faith.
+  const std::vector<std::size_t> jobs = harness_jobs("SOS_EPISODE_JOBS");
+  const std::vector<std::size_t> strand_jobs = harness_jobs("SOS_SUBEPISODE_JOBS");
   const char* schemes[] = {"interest", "epidemic", "prophet"};
   const int kWorlds = 50;
   std::size_t total_contacts = 0, total_posts = 0, total_deliveries = 0;
@@ -381,6 +529,11 @@ TEST(RandomizedDeterminism, MultiCommunityWorldsAreBitwiseIdenticalAcrossEngines
     auto graph =
         ss::EpisodeGraph::partition(world->trace, config.nodes, su::days(config.days));
     check_partition_invariants(world->trace, graph, config.nodes, su::days(config.days));
+    auto dag =
+        ss::ContactDag::partition(world->trace, config.nodes, su::days(config.days));
+    check_contactdag_invariants(world->trace, dag, config.nodes, su::days(config.days));
+    // Dropping span fusion only removes ordering edges.
+    EXPECT_GE(dag.parallelism() + 1e-9, graph.parallelism()) << "world " << w;
 
     const Fingerprint single = fingerprint(sd::run_scenario(config, world.get()));
     for (std::size_t j : jobs) {
@@ -389,6 +542,14 @@ TEST(RandomizedDeterminism, MultiCommunityWorldsAreBitwiseIdenticalAcrossEngines
       EXPECT_EQ(single, episodes)
           << "world " << w << " (" << config.scheme << ", " << config.communities
           << " communities, seed " << config.seed << ") diverged at jobs " << j;
+    }
+    for (std::size_t j : strand_jobs) {
+      const Fingerprint strands =
+          fingerprint(sd::run_scenario(config, world.get(), {.subepisode_jobs = j}));
+      EXPECT_EQ(single, strands)
+          << "world " << w << " (" << config.scheme << ", " << config.communities
+          << " communities, seed " << config.seed
+          << ") diverged on the strand engine at jobs " << j;
     }
     total_contacts += world->trace.size();
     total_posts += single.posts;
@@ -420,6 +581,14 @@ TEST(RandomizedDeterminism, CommunityDensityCellReachesParallelismCeiling) {
   check_partition_invariants(world->trace, graph, config.nodes, su::days(config.days));
   EXPECT_GE(graph.parallelism(), 2.0);
   EXPECT_GT(graph.contact_episode_count(), 8u);
+  // The strand-level decomposition of the same trace is strictly finer: at
+  // least as much critical-path headroom, and sim-time width for multiple
+  // workers to occupy.
+  auto dag = ss::ContactDag::partition(world->trace, config.nodes, su::days(config.days));
+  check_contactdag_invariants(world->trace, dag, config.nodes, su::days(config.days));
+  EXPECT_GE(dag.parallelism() + 1e-9, graph.parallelism());
+  EXPECT_GE(dag.width(), 2u);
+  EXPECT_GT(dag.contact_task_count(), graph.contact_episode_count());
 }
 
 // --- cross-segment state handoff --------------------------------------------
@@ -460,4 +629,51 @@ TEST(EpisodeReplay, BundleRelaysAcrossEpisodeBoundary) {
   // node 2 in episode 1.
   EXPECT_GT(episodes.oracle.delivery_count(), 0u);
   EXPECT_GT(episodes.totals.bundles_carried, episodes.totals.deliveries);
+}
+
+TEST(SubepisodeReplay, BundleRelaysAcrossThreeStrandsInsideOneEpisode) {
+  // The strand-engine counterpart of the episode-boundary relay: an
+  // "anchor" contact (0,6) spans the whole evening, so EpisodeGraph's span
+  // fusion folds the relay chain 0 -> 1 -> 2 -> 3 into ONE serial episode —
+  // the dense-hotspot shape the episode engine cannot split. ContactDag
+  // keeps the three relay hops as separate tasks chained through nodes 1
+  // and 2, so a bundle posted by node 0 must cross two detach/attach seams
+  // *inside* that episode to reach its subscriber on node 3.
+  sd::ScenarioConfig config = sd::gainesville_config("epidemic", 99);
+  config.nodes = 7;
+  config.days = 1.0;
+  config.total_posts_target = 140.0;  // ~20 posts by node 0 in the window
+  sg::Digraph social(7);
+  social.add_edge(3, 0);  // node 3 follows node 0
+  config.social = social;
+
+  // Posting window is 18.5h-23.5h (66600..84600 s); the relay contacts sit
+  // inside it. No (0,3) contact ever: delivery requires both hops.
+  std::vector<ss::Trajectory> parked(7);
+  for (std::size_t i = 0; i < 7; ++i)
+    parked[i].add(0.0, {100.0 * static_cast<double>(i), 0.0});
+  sd::ScenarioWorld world{ss::TrajectoryMobility(std::move(parked)),
+                          ss::ContactTrace{}};
+  ASSERT_TRUE(world.trace.add({70000, 70600, 0, 1}));
+  ASSERT_TRUE(world.trace.add({70300, 76000, 0, 6}));  // the episode anchor
+  ASSERT_TRUE(world.trace.add({72000, 72600, 1, 2}));
+  ASSERT_TRUE(world.trace.add({74400, 75000, 2, 3}));
+
+  auto graph = ss::EpisodeGraph::partition(world.trace, 7, su::days(1.0));
+  EXPECT_EQ(graph.contact_episode_count(), 1u);  // span fusion serializes it
+  auto dag = ss::ContactDag::partition(world.trace, 7, su::days(1.0));
+  check_contactdag_invariants(world.trace, dag, 7, su::days(1.0));
+  ASSERT_EQ(dag.contact_task_count(), 3u);  // ...the strand cut does not
+  EXPECT_EQ(dag.tasks()[0].contacts, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(dag.tasks()[1].deps, (std::vector<std::size_t>{0}));  // via node 1
+  EXPECT_EQ(dag.tasks()[2].deps, (std::vector<std::size_t>{1}));  // via node 2
+  EXPECT_EQ(dag.width(), 2u);  // hops nest inside the anchor task's span
+
+  auto single = sd::run_scenario(config, &world);
+  EXPECT_GT(single.oracle.delivery_count(), 0u);
+  for (std::size_t j : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    auto strands = sd::run_scenario(config, &world, {.subepisode_jobs = j});
+    EXPECT_EQ(fingerprint(single), fingerprint(strands)) << "strand jobs " << j;
+    EXPECT_GT(strands.oracle.delivery_count(), 0u);
+  }
 }
