@@ -12,6 +12,8 @@
 #include "sim/episode.hpp"
 #include "sim/multipeer.hpp"
 #include "sim/subepisode.hpp"
+#include "soak/checkpoint.hpp"
+#include "util/codec.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -443,6 +445,59 @@ BENCHMARK(BM_DisasterPack)
     ->Iterations(1)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+static void BM_CheckpointRoundtrip(benchmark::State& state) {
+  // Soak checkpoint save/restore cost on the community cell (48n-4c,
+  // 3 days), captured at the middle quiescent cut — roughly the per-day
+  // overhead a month-scale soak run pays for resumability. range(0)==0 is
+  // save: serialize the whole fleet (the detach/attach inventory per node
+  // + scheduler clock + partial metrics) and encode the versioned,
+  // integrity-hashed container. range(0)==1 is restore: decode + validate
+  // the container, build a fresh fleet, and attach the state — the full
+  // cost of re-entering a run from disk, which is why it dwarfs save.
+  auto grid = deploy::density_ablation_grid(3.0);
+  deploy::SweepRunner runner{deploy::SweepOptions{}};
+  const std::size_t idx = grid_cell_index(grid, "48n-4c");
+  deploy::ScenarioConfig config = runner.cell_config(grid[idx], idx);
+  auto world = deploy::record_world(config);
+
+  deploy::ReplayOptions replay;
+  deploy::ReplaySession session(config, *world, replay);
+  std::vector<util::SimTime> cuts = session.quiescent_cuts(60.0);
+  session.advance_to(cuts.empty() ? session.horizon() / 2 : cuts[cuts.size() / 2]);
+
+  soak::Checkpoint c;
+  c.segment = 1;
+  c.sim_time = session.sim_time();
+  c.world_digest = soak::world_digest(config, *world);
+
+  if (state.range(0) == 0) {
+    util::Bytes enc;
+    for (auto _ : state) {
+      util::Writer w;
+      session.save_state(w);
+      c.payload = w.take();
+      enc = soak::encode_checkpoint(c);
+      benchmark::DoNotOptimize(enc);
+    }
+    state.counters["checkpoint_bytes"] = static_cast<double>(enc.size());
+  } else {
+    util::Writer w;
+    session.save_state(w);
+    c.payload = w.take();
+    const util::Bytes enc = soak::encode_checkpoint(c);
+    for (auto _ : state) {
+      std::string error;
+      auto decoded = soak::decode_checkpoint(util::ByteView(enc), &error);
+      deploy::ReplaySession fresh(config, *world, replay);
+      util::Reader r{util::ByteView(decoded->payload)};
+      bool ok = fresh.load_state(r);
+      benchmark::DoNotOptimize(ok);
+    }
+    state.counters["checkpoint_bytes"] = static_cast<double>(enc.size());
+  }
+}
+BENCHMARK(BM_CheckpointRoundtrip)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 static void BM_StoreNewerThan(benchmark::State& state) {
   bundle::BundleStore store(100000);

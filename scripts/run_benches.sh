@@ -18,9 +18,10 @@
 #      (tools/sos_lint) over src/, plus its rule-fixture selftest.
 #   2. ASan+UBSan: a combined -DSOS_SANITIZE=address,undefined build in
 #      <build-dir>-asan runs the ENTIRE ctest suite with UB findings fatal
-#      (-fno-sanitize-recover=undefined).
+#      (-fno-sanitize-recover=undefined), then the fast `soak`-labelled
+#      tier again on its own (checkpoint/resume pins under ASan).
 #   3. TSan: a -DSOS_SANITIZE=thread build in <build-dir>-tsan runs the
-#      `sweep`-, `fault`-, and `mw`-labelled suites, then re-runs the
+#      `sweep`-, `fault`-, `mw`-, and `soak`-labelled suites, then re-runs the
 #      randomized multi-community harness twice — with SOS_EPISODE_JOBS=4
 #      and with SOS_SUBEPISODE_JOBS=4 — so both the episode and the
 #      sub-episode (contact-strand) worker pools are exercised at a fixed
@@ -84,11 +85,14 @@ if [[ $check -eq 1 ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   require_cache_flag "$asan_dir" "address,undefined"
   cmake --build "$asan_dir" -j "$(nproc)"
-  require_instrumented "$asan_dir" __asan mw_test sweep_test episode_test fault_test
-  require_instrumented "$asan_dir" __ubsan mw_test sweep_test episode_test fault_test
+  require_instrumented "$asan_dir" __asan mw_test sweep_test episode_test fault_test soak_test
+  require_instrumented "$asan_dir" __ubsan mw_test sweep_test episode_test fault_test soak_test
   echo "== ASan+UBSan check: full ctest suite =="
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
     ctest --test-dir "$asan_dir" --output-on-failure
+  echo "== ASan+UBSan check: fast soak tier (ctest -L soak) =="
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir "$asan_dir" -L soak --output-on-failure
 
   # -- stage 3: TSan over the concurrency-bearing suites --------------------
   tsan_dir="${build_dir%/}-tsan"
@@ -96,9 +100,9 @@ if [[ $check -eq 1 ]]; then
   cmake -B "$tsan_dir" -S "$repo_root" -DSOS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   require_cache_flag "$tsan_dir" thread
   cmake --build "$tsan_dir" -j "$(nproc)" --target sweep_test episode_test fault_test \
-        bundle_test fastpath_test mw_test sim_test
-  require_instrumented "$tsan_dir" __tsan sweep_test episode_test fault_test mw_test
-  for label in sweep fault mw; do
+        bundle_test fastpath_test mw_test sim_test soak_test
+  require_instrumented "$tsan_dir" __tsan sweep_test episode_test fault_test mw_test soak_test
+  for label in sweep fault mw soak; do
     echo "== TSan check: ctest -L $label =="
     ctest --test-dir "$tsan_dir" -L "$label" --output-on-failure
   done

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "util/codec.hpp"
+
 namespace sos::bundle {
 
 bool BundleStore::insert(Bundle b, util::SimTime now) {
@@ -98,6 +100,51 @@ void BundleStore::remove(const BundleId& id) {
   on_removed(it->second);
   bundles_.erase(it);
   refresh_summary(id.origin);
+}
+
+void BundleStore::save_state(util::Writer& w) const {
+  w.varint(bundles_.size());
+  for (const auto& [id, stored] : bundles_) {
+    // encode() covers hop_count, but hops_on_arrival is receive-time
+    // metadata the wire format never carries — saved explicitly.
+    w.bytes(stored.bundle.encode());
+    w.f64(stored.received_at);
+    w.u8(stored.hops_on_arrival);
+  }
+  w.u64(evicted_);
+  w.u64(duplicates_);
+}
+
+bool BundleStore::load_state(util::Reader& r) {
+  std::uint64_t n = r.varint();
+  std::map<BundleId, StoredBundle> bundles;
+  std::set<std::pair<util::SimTime, BundleId>> by_creation;
+  std::map<pki::UserId, std::uint32_t> summary;
+  std::size_t unicast = 0;
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    util::Bytes enc = r.bytes();
+    double received_at = r.f64();
+    std::uint8_t hops = r.u8();
+    if (!r.ok()) return false;
+    auto b = Bundle::decode(enc);
+    if (!b) return false;
+    BundleId id = b->id();
+    if (b->is_unicast()) ++unicast;
+    by_creation.emplace(b->creation_ts, id);
+    auto& held = summary[id.origin];
+    if (id.msg_num > held) held = id.msg_num;
+    bundles.emplace(id, StoredBundle{std::move(*b), received_at, hops});
+  }
+  std::uint64_t evicted = r.u64();
+  std::uint64_t duplicates = r.u64();
+  if (!r.ok()) return false;
+  bundles_ = std::move(bundles);
+  by_creation_ = std::move(by_creation);
+  summary_ = std::move(summary);
+  unicast_count_ = unicast;
+  evicted_ = evicted;
+  duplicates_ = duplicates;
+  return true;
 }
 
 void BundleStore::evict_if_needed() {

@@ -13,6 +13,11 @@
 
 #include "bundle/bundle.hpp"
 
+namespace sos::util {
+class Writer;
+class Reader;
+}  // namespace sos::util
+
 namespace sos::bundle {
 
 struct StoredBundle {
@@ -66,6 +71,13 @@ class BundleStore {
     summary_.clear();
     unicast_count_ = 0;
   }
+
+  /// Checkpoint contents + lifetime counters (capacity is configuration and
+  /// stays with the owner). load_state rebuilds every secondary index from
+  /// the serialized bundles; on malformed input it returns false leaving
+  /// the store untouched.
+  void save_state(util::Writer& w) const;
+  bool load_state(util::Reader& r);
 
  private:
   void evict_if_needed();

@@ -4,6 +4,7 @@
 
 #include "crypto/chacha20.hpp"
 #include "crypto/sha256.hpp"
+#include "util/codec.hpp"
 
 namespace sos::crypto {
 
@@ -23,6 +24,21 @@ util::Bytes Drbg::generate(std::size_t len) {
   util::Bytes out(len);
   generate(out.data(), len);
   return out;
+}
+
+void Drbg::save_state(util::Writer& w) const {
+  w.raw(util::ByteView(key_, 32));
+  w.u64(counter_);
+}
+
+bool Drbg::load_state(util::Reader& r) {
+  auto key = r.raw_array<32>();
+  std::uint64_t counter = r.u64();
+  if (!r.ok()) return false;
+  std::memcpy(key_, key.data(), 32);
+  counter_ = counter;
+  util::secure_wipe(key.data(), key.size());
+  return true;
 }
 
 Drbg Drbg::fork(util::ByteView label) {

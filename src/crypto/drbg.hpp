@@ -7,6 +7,11 @@
 
 #include "util/bytes.hpp"
 
+namespace sos::util {
+class Writer;
+class Reader;
+}  // namespace sos::util
+
 namespace sos::crypto {
 
 class Drbg {
@@ -31,6 +36,11 @@ class Drbg {
 
   /// Derive an independent child generator (label separates domains).
   Drbg fork(util::ByteView label);
+
+  /// Checkpoint the full generator state (key + counter): a restored Drbg
+  /// continues the byte stream exactly where the saved one stopped.
+  void save_state(util::Writer& w) const;
+  bool load_state(util::Reader& r);
 
  private:
   std::uint8_t key_[32];

@@ -1,5 +1,7 @@
 #include "deploy/replay.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -16,6 +18,7 @@
 #include "sim/multipeer.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/subepisode.hpp"
+#include "util/codec.hpp"
 #include "util/mutex.hpp"
 #include "util/rng.hpp"
 
@@ -38,16 +41,17 @@ struct EpisodeOut {
 
 /// Shared engine state. Workers touch disjoint slices: a task only
 /// reads/writes its member nodes' state (exclusive by the DAG's per-node
-/// chaining) and its own EpisodeOut slot. Exactly one of `graph` (episode
-/// engine) and `dag` (sub-episode strand engine) is set.
+/// chaining) and its own EpisodeOut slot. Exactly one of `episodes` (the
+/// episode engine's list — EpisodeGraph's or a hand-fused mono partition)
+/// and `dag` (sub-episode strand engine) is set.
 struct EngineState {
   const ScenarioConfig& config;
   const ScenarioWorld& world;
-  /// The trace the tasks index into — the recorded trace, or its
-  /// fault-reshaped transform when the plan clips contacts.
+  /// The trace the tasks index into — the recorded trace, its fault-reshaped
+  /// transform, or one segment of either under segmented replay.
   const sim::ContactTrace& trace;
   const sim::FaultPlan* plan;  // compiled fault plan (may be null)
-  const sim::EpisodeGraph* graph;
+  const std::vector<sim::Episode>* episodes;
   const sim::ContactDag* dag;
   std::vector<std::unique_ptr<mw::SosNode>>& nodes;
   std::vector<std::unique_ptr<alleyoop::App>>& apps;
@@ -177,7 +181,7 @@ void execute_task_dag(std::size_t count,
 }
 
 void run_episode(const EngineState& st, std::size_t ei) {
-  const sim::Episode& e = st.graph->episodes()[ei];
+  const sim::Episode& e = (*st.episodes)[ei];
   const ScenarioConfig& config = st.config;
   util::SimTime t_start = st.horizon;
   for (std::uint32_t n : e.nodes) t_start = std::min(t_start, st.resume_at[n]);
@@ -422,36 +426,48 @@ void run_strand_task(const EngineState& st, std::size_t ti) {
 
 }  // namespace
 
-ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
-                                        const ScenarioWorld& world,
-                                        const ReplayOptions& replay) {
-  const double horizon = util::days(config.days);
+/// The long-lived half of a segmented replay. Declaration order doubles as
+/// destruction order constraints: the fleet must die before the staging
+/// substrate it was constructed against, and the timelines (which hold
+/// plan-owned churn pointers) before the fault plan.
+struct ReplaySession::Impl {
+  ScenarioConfig config;
+  const ScenarioWorld& world;
+  ReplayOptions replay;
+  double horizon = 0;
+  std::optional<sim::FaultPlan> fault_plan;
+  sim::ContactTrace faulted;
+  const sim::ContactTrace* trace = nullptr;
+  std::unique_ptr<sim::Scheduler> staging;
+  std::unique_ptr<sim::MpcNetwork> staging_net;
+  crypto::VerifyMemo run_memo;
+  detail::Fleet fleet;
+  std::vector<std::vector<detail::TimelineEvent>> timelines;
+  std::vector<std::size_t> timeline_cursor;
+  std::vector<util::SimTime> resume_at;
+  std::vector<bool> consumed;  // trace contacts already replayed
+  util::SimTime now = 0;
+  ScenarioResult result;  // oracle records + wire counters merged so far
+
+  explicit Impl(const ScenarioConfig& c, const ScenarioWorld& w, const ReplayOptions& r)
+      : config(c), world(w), replay(r) {}
+};
+
+ReplaySession::ReplaySession(const ScenarioConfig& config, const ScenarioWorld& world,
+                             const ReplayOptions& replay)
+    : impl_(std::make_unique<Impl>(config, world, replay)) {
+  Impl& im = *impl_;
+  im.horizon = util::days(config.days);
 
   // Compiled fault plan; trace-reshaping faults transform the recorded
   // trace BEFORE partitioning, so the task DAG decomposes the same faulted
   // world the single-scheduler path replays.
-  std::optional<sim::FaultPlan> fault_plan;
-  if (config.faults.any()) fault_plan.emplace(config.faults, config.seed, config.nodes);
-  const sim::FaultPlan* plan = fault_plan ? &*fault_plan : nullptr;
-  sim::ContactTrace faulted;
-  const sim::ContactTrace* trace = &world.trace;
+  if (config.faults.any()) im.fault_plan.emplace(config.faults, config.seed, config.nodes);
+  const sim::FaultPlan* plan = im.fault_plan ? &*im.fault_plan : nullptr;
+  im.trace = &world.trace;
   if (plan != nullptr && plan->reshapes_trace()) {
-    faulted = plan->apply(world.trace);
-    trace = &faulted;
-  }
-
-  // Engine selection: subepisode_jobs > 0 cuts at contact-strand granularity
-  // (sim::ContactDag), else at episode granularity (sim::EpisodeGraph).
-  const bool strands = replay.subepisode_jobs > 0;
-  sim::EpisodeGraph graph;
-  sim::ContactDag dag;
-  std::size_t task_count = 0;
-  if (strands) {
-    dag = sim::ContactDag::partition(*trace, config.nodes, horizon);
-    task_count = dag.tasks().size();
-  } else {
-    graph = sim::EpisodeGraph::partition(*trace, config.nodes, horizon);
-    task_count = graph.episodes().size();
+    im.faulted = plan->apply(world.trace);
+    im.trace = &im.faulted;
   }
 
   // --- RNG streams, consumed in exactly the single-scheduler order --------
@@ -465,80 +481,325 @@ ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
   // Nodes are constructed and started against a scheduler that never runs
   // an event (only timer deadlines register), then detached; each task
   // attaches its members to its own shard.
-  sim::Scheduler staging;
-  sim::MpcNetwork staging_net(staging, config.nodes, config.radio);
+  im.staging = std::make_unique<sim::Scheduler>();
+  im.staging_net = std::make_unique<sim::MpcNetwork>(*im.staging, config.nodes, config.radio);
   // Shared across nodes AND task workers; a caller-owned memo
   // (replay.memo, the sweep-wide scope) takes precedence over the run-local
   // one so a cell's variants collapse their cross-variant re-verifies too.
-  crypto::VerifyMemo run_memo;
-  crypto::VerifyMemo* verify_memo = replay.memo != nullptr ? replay.memo : &run_memo;
-  detail::Fleet fleet;
-  detail::build_fleet(fleet, config, staging, staging_net,
+  crypto::VerifyMemo* verify_memo = replay.memo != nullptr ? replay.memo : &im.run_memo;
+  detail::build_fleet(im.fleet, config, *im.staging, *im.staging_net,
                       replay.share_verify_memo ? verify_memo : nullptr, plan);
-  auto& nodes = fleet.nodes;
-  auto& apps = fleet.apps;
 
-  ScenarioResult result;
   graph::Digraph social = detail::build_social_graph(config, rng);
-  result.social = social;
-  result.oracle.set_subscriptions(detail::wire_follows(fleet, social));
+  im.result.social = social;
+  im.result.oracle.set_subscriptions(detail::wire_follows(im.fleet, social));
 
-  for (auto& node : nodes) node->start();
-  for (auto& node : nodes) node->detach();
+  for (auto& node : im.fleet.nodes) node->start();
+  for (auto& node : im.fleet.nodes) node->detach();
 
   util::Rng workload_rng = rng.fork();
-  auto timelines = detail::build_timelines(config, workload_rng, plan);
-  std::vector<std::size_t> timeline_cursor(config.nodes, 0);
-  std::vector<util::SimTime> resume_at(config.nodes, 0.0);
+  im.timelines = detail::build_timelines(config, workload_rng, plan);
+  im.timeline_cursor.assign(config.nodes, 0);
+  im.resume_at.assign(config.nodes, 0.0);
+  im.consumed.assign(im.trace->size(), false);
+}
+
+ReplaySession::~ReplaySession() = default;
+
+std::vector<util::SimTime> ReplaySession::quiescent_cuts(util::SimTime min_gap) const {
+  const Impl& im = *impl_;
+  // Sweep the contact intervals by start time tracking the covered horizon;
+  // a hole in the coverage is a globally quiescent gap.
+  std::vector<std::pair<util::SimTime, util::SimTime>> iv;
+  iv.reserve(im.trace->size());
+  for (const sim::ContactInterval& c : im.trace->contacts()) iv.emplace_back(c.start, c.end);
+  std::sort(iv.begin(), iv.end());
+  std::vector<util::SimTime> cuts;
+  util::SimTime cover_end = 0;
+  bool any = false;
+  for (const auto& [s, e] : iv) {
+    if (any && s > cover_end && s - cover_end >= min_gap) {
+      cuts.push_back(cover_end + (s - cover_end) / 2.0);
+    }
+    if (e > cover_end) cover_end = e;
+    any = true;
+  }
+  if (any && im.horizon > cover_end && im.horizon - cover_end >= min_gap) {
+    cuts.push_back(cover_end + (im.horizon - cover_end) / 2.0);
+  }
+  return cuts;
+}
+
+void ReplaySession::advance_to(util::SimTime t) {
+  Impl& im = *impl_;
+  if (t > im.horizon) t = im.horizon;
+  assert(t >= im.now);
+  const bool final_segment = t >= im.horizon;
+  const sim::FaultPlan* plan = im.fault_plan ? &*im.fault_plan : nullptr;
+
+  // This segment's contacts, in trace order: everything not yet replayed
+  // that ends at or before the cut. The scan covers ALL remaining indices —
+  // a fault-reshaped trace is not sorted by end time, so a contiguous
+  // cursor would strand late-ending contacts. At the horizon everything
+  // left rides along regardless of end time.
+  std::vector<std::size_t> picked;
+  const std::vector<sim::ContactInterval>& contacts = im.trace->contacts();
+  for (std::size_t i = 0; i < contacts.size(); ++i) {
+    if (im.consumed[i]) continue;
+    if (final_segment || contacts[i].end <= t) picked.push_back(i);
+  }
+  sim::ContactTrace seg;
+  for (std::size_t i : picked) seg.add(contacts[i]);
+
+  // Partition the segment on the selected engine, with the cut as the
+  // horizon: the trailing tail task runs every node's local timers up to
+  // the cut, which is exactly what makes the cut a serializable state.
+  const bool strands = im.replay.subepisode_jobs > 0;
+  const bool episodes_engine = !strands && im.replay.partition;
+  sim::EpisodeGraph graph;
+  sim::ContactDag dag;
+  std::vector<sim::Episode> mono;
+  const std::vector<sim::Episode>* episodes = nullptr;
+  std::size_t task_count = 0;
+  std::size_t jobs = 1;
+  if (strands) {
+    dag = sim::ContactDag::partition(seg, im.config.nodes, t);
+    task_count = dag.tasks().size();
+    jobs = im.replay.subepisode_jobs;
+  } else if (episodes_engine) {
+    graph = sim::EpisodeGraph::partition(seg, im.config.nodes, t);
+    episodes = &graph.episodes();
+    task_count = graph.episodes().size();
+    jobs = im.replay.jobs;
+  } else {
+    // Mono engine: one fused task holding every node for the whole segment
+    // (single-scheduler semantics), then the tail to the cut.
+    if (seg.size() > 0) {
+      sim::Episode all;
+      for (std::size_t n = 0; n < im.config.nodes; ++n)
+        all.nodes.push_back(static_cast<std::uint32_t>(n));
+      all.first_start = seg.contacts().front().start;
+      all.last_end = 0;
+      for (std::size_t ci = 0; ci < seg.size(); ++ci) {
+        all.contacts.push_back(ci);
+        all.first_start = std::min(all.first_start, seg.contacts()[ci].start);
+        all.last_end = std::max(all.last_end, seg.contacts()[ci].end);
+      }
+      mono.push_back(std::move(all));
+    }
+    sim::Episode tail;
+    for (std::size_t n = 0; n < im.config.nodes; ++n)
+      tail.nodes.push_back(static_cast<std::uint32_t>(n));
+    tail.last_end = t;
+    if (!mono.empty()) tail.deps.push_back(0);
+    mono.push_back(std::move(tail));
+    episodes = &mono;
+    task_count = mono.size();
+  }
 
   std::vector<EpisodeOut> outs(task_count);
-  EngineState st{config,
-                 world,
-                 *trace,
+  EngineState st{im.config,
+                 im.world,
+                 seg,
                  plan,
-                 strands ? nullptr : &graph,
+                 episodes,
                  strands ? &dag : nullptr,
-                 nodes,
-                 apps,
-                 timelines,
-                 timeline_cursor,
-                 resume_at,
+                 im.fleet.nodes,
+                 im.fleet.apps,
+                 im.timelines,
+                 im.timeline_cursor,
+                 im.resume_at,
                  outs,
-                 horizon};
+                 t};
 
-  // --- execute the task DAG ------------------------------------------------
   if (strands) {
     execute_task_dag(
         task_count,
         [&](std::size_t i) -> const std::vector<std::size_t>& { return dag.tasks()[i].deps; },
-        [&](std::size_t i) { run_strand_task(st, i); }, replay.subepisode_jobs, replay.budget,
+        [&](std::size_t i) { run_strand_task(st, i); }, jobs, im.replay.budget,
         "contact-strand DAG");
   } else {
     execute_task_dag(
         task_count,
-        [&](std::size_t i) -> const std::vector<std::size_t>& {
-          return graph.episodes()[i].deps;
-        },
-        [&](std::size_t i) { run_episode(st, i); }, replay.jobs, replay.budget,
-        "episode graph");
+        [&](std::size_t i) -> const std::vector<std::size_t>& { return (*episodes)[i].deps; },
+        [&](std::size_t i) { run_episode(st, i); }, jobs, im.replay.budget, "episode graph");
   }
 
-  // --- merge, in task-index order ------------------------------------------
+  // Merge in task-index order — deterministic regardless of worker count.
   for (const EpisodeOut& out : outs) {
-    for (const auto& r : out.oracle.posts()) result.oracle.record_post(r);
-    for (const auto& r : out.oracle.carries()) result.oracle.record_carry(r);
-    for (const auto& r : out.oracle.deliveries()) result.oracle.record_delivery(r);
-    result.wire_frames += out.wire_frames;
-    result.wire_bytes += out.wire_bytes;
-    result.connections += out.connections;
-    result.connections_failed += out.connections_failed;
-    result.frames_lost += out.frames_lost;
-    result.frames_dropped_fault += out.frames_dropped_fault;
+    for (const auto& r : out.oracle.posts()) im.result.oracle.record_post(r);
+    for (const auto& r : out.oracle.carries()) im.result.oracle.record_carry(r);
+    for (const auto& r : out.oracle.deliveries()) im.result.oracle.record_delivery(r);
+    im.result.wire_frames += out.wire_frames;
+    im.result.wire_bytes += out.wire_bytes;
+    im.result.connections += out.connections;
+    im.result.connections_failed += out.connections_failed;
+    im.result.frames_lost += out.frames_lost;
+    im.result.frames_dropped_fault += out.frames_dropped_fault;
   }
-  for (const auto& node : nodes) detail::add_stats(result.totals, node->stats());
-  result.contacts = trace->size();
-  result.simulated_days = config.days;
+  for (std::size_t i : picked) im.consumed[i] = true;
+  im.now = t;
+}
+
+util::SimTime ReplaySession::sim_time() const { return impl_->now; }
+util::SimTime ReplaySession::horizon() const { return impl_->horizon; }
+const ScenarioResult& ReplaySession::partial() const { return impl_->result; }
+std::size_t ReplaySession::node_count() const { return impl_->fleet.nodes.size(); }
+mw::SosNode& ReplaySession::node(std::size_t i) { return *impl_->fleet.nodes[i]; }
+
+mw::NodeStats ReplaySession::stats_totals() const {
+  mw::NodeStats totals;
+  for (const auto& node : impl_->fleet.nodes) detail::add_stats(totals, node->stats());
+  return totals;
+}
+
+ScenarioResult ReplaySession::finish() {
+  Impl& im = *impl_;
+  ScenarioResult result = std::move(im.result);
+  for (const auto& node : im.fleet.nodes) detail::add_stats(result.totals, node->stats());
+  result.contacts = im.trace->size();
+  result.simulated_days = im.config.days;
   return result;
+}
+
+void ReplaySession::save_state(util::Writer& w) const {
+  const Impl& im = *impl_;
+  w.f64(im.now);
+  w.varint(im.fleet.nodes.size());
+  for (const auto& node : im.fleet.nodes) {
+    util::Writer sub;
+    node->save_state(sub);
+    w.bytes(sub.take());
+  }
+  for (std::size_t c : im.timeline_cursor) w.varint(c);
+  for (util::SimTime t : im.resume_at) w.f64(t);
+  const MetricsOracle& oracle = im.result.oracle;
+  w.varint(oracle.posts().size());
+  for (const PostRecord& r : oracle.posts()) {
+    w.raw(r.id.origin.view());
+    w.u32(r.id.msg_num);
+    w.raw(r.author.view());
+    w.f64(r.created);
+    w.f64(r.location.x);
+    w.f64(r.location.y);
+  }
+  w.varint(oracle.deliveries().size());
+  for (const DeliveryRecord& r : oracle.deliveries()) {
+    w.raw(r.id.origin.view());
+    w.u32(r.id.msg_num);
+    w.raw(r.subscriber.view());
+    w.f64(r.at);
+    w.u8(r.hops);
+    w.f64(r.location.x);
+    w.f64(r.location.y);
+  }
+  w.varint(oracle.carries().size());
+  for (const CarryRecord& r : oracle.carries()) {
+    w.raw(r.id.origin.view());
+    w.u32(r.id.msg_num);
+    w.raw(r.carrier.view());
+    w.f64(r.at);
+    w.f64(r.location.x);
+    w.f64(r.location.y);
+  }
+  w.u64(im.result.wire_frames);
+  w.u64(im.result.wire_bytes);
+  w.u64(im.result.connections);
+  w.u64(im.result.connections_failed);
+  w.u64(im.result.frames_lost);
+  w.u64(im.result.frames_dropped_fault);
+}
+
+bool ReplaySession::load_state(util::Reader& r) {
+  Impl& im = *impl_;
+  assert(im.now == 0);  // resume into a freshly constructed session only
+  double now = r.f64();
+  std::uint64_t nodes = r.varint();
+  if (!r.ok() || nodes != im.fleet.nodes.size()) return false;
+  if (now < 0 || now > im.horizon) return false;
+  std::vector<util::Bytes> blobs(im.fleet.nodes.size());
+  for (auto& blob : blobs) blob = r.bytes();
+  std::vector<std::size_t> cursor(im.config.nodes);
+  for (auto& c : cursor) {
+    std::uint64_t v = r.varint();
+    c = static_cast<std::size_t>(v);
+  }
+  std::vector<util::SimTime> resume(im.config.nodes);
+  for (auto& t : resume) t = r.f64();
+  std::uint64_t posts = r.varint();
+  if (!r.ok()) return false;
+  std::vector<PostRecord> post_recs;
+  for (std::uint64_t i = 0; i < posts && r.ok(); ++i) {
+    PostRecord rec;
+    rec.id.origin.bytes = r.raw_array<pki::kUserIdSize>();
+    rec.id.msg_num = r.u32();
+    rec.author.bytes = r.raw_array<pki::kUserIdSize>();
+    rec.created = r.f64();
+    rec.location.x = r.f64();
+    rec.location.y = r.f64();
+    post_recs.push_back(rec);
+  }
+  std::uint64_t deliveries = r.varint();
+  std::vector<DeliveryRecord> delivery_recs;
+  for (std::uint64_t i = 0; i < deliveries && r.ok(); ++i) {
+    DeliveryRecord rec;
+    rec.id.origin.bytes = r.raw_array<pki::kUserIdSize>();
+    rec.id.msg_num = r.u32();
+    rec.subscriber.bytes = r.raw_array<pki::kUserIdSize>();
+    rec.at = r.f64();
+    rec.hops = r.u8();
+    rec.location.x = r.f64();
+    rec.location.y = r.f64();
+    delivery_recs.push_back(rec);
+  }
+  std::uint64_t carries = r.varint();
+  std::vector<CarryRecord> carry_recs;
+  for (std::uint64_t i = 0; i < carries && r.ok(); ++i) {
+    CarryRecord rec;
+    rec.id.origin.bytes = r.raw_array<pki::kUserIdSize>();
+    rec.id.msg_num = r.u32();
+    rec.carrier.bytes = r.raw_array<pki::kUserIdSize>();
+    rec.at = r.f64();
+    rec.location.x = r.f64();
+    rec.location.y = r.f64();
+    carry_recs.push_back(rec);
+  }
+  std::uint64_t wire_frames = r.u64();
+  std::uint64_t wire_bytes = r.u64();
+  std::uint64_t connections = r.u64();
+  std::uint64_t connections_failed = r.u64();
+  std::uint64_t frames_lost = r.u64();
+  std::uint64_t frames_dropped_fault = r.u64();
+  if (!r.ok()) return false;
+  for (std::size_t i = 0; i < im.fleet.nodes.size(); ++i) {
+    util::Reader sub{util::ByteView(blobs[i])};
+    if (!im.fleet.nodes[i]->load_state(sub) || !sub.done()) return false;
+  }
+  im.timeline_cursor = std::move(cursor);
+  im.resume_at = std::move(resume);
+  for (const PostRecord& rec : post_recs) im.result.oracle.record_post(rec);
+  for (const DeliveryRecord& rec : delivery_recs) im.result.oracle.record_delivery(rec);
+  for (const CarryRecord& rec : carry_recs) im.result.oracle.record_carry(rec);
+  im.result.wire_frames = wire_frames;
+  im.result.wire_bytes = wire_bytes;
+  im.result.connections = connections;
+  im.result.connections_failed = connections_failed;
+  im.result.frames_lost = frames_lost;
+  im.result.frames_dropped_fault = frames_dropped_fault;
+  // Contacts already replayed are recomputable from the cut time: a
+  // quiescent cut consumes exactly the contacts ending before it.
+  const std::vector<sim::ContactInterval>& contacts = im.trace->contacts();
+  for (std::size_t i = 0; i < contacts.size(); ++i) im.consumed[i] = contacts[i].end <= now;
+  im.now = now;
+  return true;
+}
+
+ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
+                                        const ScenarioWorld& world,
+                                        const ReplayOptions& replay) {
+  ReplaySession session(config, world, replay);
+  session.advance_to(session.horizon());
+  return session.finish();
 }
 
 }  // namespace sos::deploy

@@ -21,8 +21,18 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
+#include <vector>
 
 #include "deploy/scenario.hpp"
+
+namespace sos::mw {
+class SosNode;
+}
+namespace sos::util {
+class Writer;
+class Reader;
+}  // namespace sos::util
 
 namespace sos::deploy {
 
@@ -63,11 +73,78 @@ class WorkerBudget {
   std::atomic<std::size_t> available_;
 };
 
+/// A replay broken into externally driven segments — the engine under the
+/// soak harness's checkpoint/resume. Construction performs exactly the
+/// setup sequence replay_scenario_episodes always ran (RNG stream order,
+/// fleet build, social wiring, workload timelines); advance_to(t) then
+/// replays every remaining contact ending at or before t on the selected
+/// engine and runs each node's local timers up to t, so a cut placed in a
+/// globally quiescent contact gap leaves the fleet in a serializable state
+/// (no sessions, no verify queues — only absolute timer deadlines).
+/// Segment-by-segment execution is bitwise identical to one uninterrupted
+/// advance_to(horizon()): episodes never straddle a quiescent gap, and
+/// per-node state crosses segments through the same detach/attach seam it
+/// crosses shard boundaries with.
+///
+/// Engine selection from ReplayOptions: subepisode_jobs > 0 = contact-strand
+/// DAG, partition = episode graph, neither = a single fused task per segment
+/// (single-scheduler semantics on the replay machinery — the soak CLI's
+/// "mono" engine).
+class ReplaySession {
+ public:
+  ReplaySession(const ScenarioConfig& config, const ScenarioWorld& world,
+                const ReplayOptions& replay);
+  ~ReplaySession();
+  ReplaySession(const ReplaySession&) = delete;
+  ReplaySession& operator=(const ReplaySession&) = delete;
+
+  /// Midpoints of globally quiescent contact gaps of at least `min_gap`
+  /// seconds (no contact open anywhere in the gap), ascending; includes the
+  /// final gap before the horizon when long enough. Contact times are
+  /// multiples of the encounter tick, so a midpoint never ties with a
+  /// contact event. These are the legal checkpoint boundaries.
+  std::vector<util::SimTime> quiescent_cuts(util::SimTime min_gap) const;
+
+  /// Replay up to sim time t (clamped to the horizon; must not go
+  /// backwards). t must be a quiescent cut or the horizon.
+  void advance_to(util::SimTime t);
+
+  util::SimTime sim_time() const;
+  util::SimTime horizon() const;
+
+  /// Fleet-wide counter totals at the current cut (monotonic over a run).
+  mw::NodeStats stats_totals() const;
+  /// Oracle records and wire counters merged so far (totals are only
+  /// aggregated by finish()).
+  const ScenarioResult& partial() const;
+  std::size_t node_count() const;
+  mw::SosNode& node(std::size_t i);
+
+  /// Final result; call once after advance_to(horizon()).
+  ScenarioResult finish();
+
+  /// Serialize the full session state at the current cut: sim time, every
+  /// node's middleware state (the detach/attach inventory), timeline
+  /// cursors, per-node resume points, and the merged partial metrics. The
+  /// setup-time state (fleet identities, social graph, timelines) is not
+  /// written — a resuming session reconstructs it from the same config.
+  void save_state(util::Writer& w) const;
+  /// Mirror of save_state; call on a freshly constructed session for the
+  /// same config/world before any advance_to. Returns false on malformed
+  /// input (the session must then be discarded).
+  bool load_state(util::Reader& r);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Run `config` over the recorded world on a partitioned engine — the
 /// sub-episode strand engine when replay.subepisode_jobs > 0, else the
 /// episode engine. Called through run_scenario(config, &world,
 /// {.partition = true, ...}) or {.subepisode_jobs = N}; exposed for tests
-/// that want a partitioned engine unconditionally.
+/// that want a partitioned engine unconditionally. Equivalent to driving a
+/// ReplaySession straight to the horizon.
 ScenarioResult replay_scenario_episodes(const ScenarioConfig& config,
                                         const ScenarioWorld& world,
                                         const ReplayOptions& replay);

@@ -140,6 +140,17 @@ class AdHocManager {
 
   sim::Scheduler& scheduler() { return *sched_; }
 
+  /// Checkpoint the transport-independent soft state: session RNG stream,
+  /// started flag, advertisement dictionary, verify + resume caches (LRU
+  /// order preserved exactly), and transport resume hints. Call only while
+  /// detached at a quiescent point (no sessions — SosNode::save_state
+  /// asserts this). Configuration (lifetimes, capacities, memo pointers)
+  /// is not serialized; the owner re-applies it before load_state.
+  void save_state(util::Writer& w) const;
+  /// Restore state written by save_state (parse fully, then commit; false
+  /// on malformed input with the manager untouched). Call while detached.
+  bool load_state(util::Reader& r);
+
   // --- callbacks up to the message manager -------------------------------
   /// Peer advertisement seen while browsing (parsed dictionary).
   std::function<void(sim::PeerId, const std::map<pki::UserId, std::uint32_t>&)> on_peer_advert;

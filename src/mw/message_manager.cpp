@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/codec.hpp"
+
 namespace sos::mw {
 
 MessageManager::MessageManager(AdHocManager& adhoc, NodeStats& stats,
@@ -115,6 +117,51 @@ void MessageManager::attach() {
     verify_flush_event_ =
         adhoc_.scheduler().schedule_at(verify_flush_at_, [this] { flush_verify_queue(); });
   }
+}
+
+void MessageManager::save_state(util::Writer& w) const {
+  // Quiescent-cut contract: no live sessions means no per-session transfer
+  // bookkeeping and nothing waiting for batch verification (on_session_down
+  // drains the queue entries owned by each dying session).
+  assert(session_users_.empty() && sent_this_session_.empty() && verify_queue_.empty());
+  {
+    util::Writer sub;
+    store_.save_state(sub);
+    w.bytes(sub.take());
+  }
+  // Keys are re-derived from each certificate's subject id on load.
+  w.varint(cert_cache_.size());
+  for (const auto& [uid, cert] : cert_cache_) w.bytes(cert.encode());
+  w.u8(verify_flush_scheduled_ ? 1 : 0);
+  w.f64(verify_flush_at_);
+}
+
+bool MessageManager::load_state(util::Reader& r) {
+  assert(!adhoc_.attached());
+  bundle::BundleStore store(store_.capacity());
+  {
+    util::Bytes blob = r.bytes();
+    if (!r.ok()) return false;
+    util::Reader sub{util::ByteView(blob)};
+    if (!store.load_state(sub) || !sub.done()) return false;
+  }
+  std::uint64_t n = r.varint();
+  std::map<pki::UserId, pki::Certificate> certs;
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    auto cert = pki::Certificate::decode(r.bytes());
+    if (!cert) return false;
+    pki::UserId uid = cert->subject_id;
+    certs.emplace(uid, std::move(*cert));
+  }
+  bool flush_scheduled = r.u8() != 0;
+  double flush_at = r.f64();
+  if (!r.ok()) return false;
+  store_ = std::move(store);
+  cert_cache_ = std::move(certs);
+  verify_flush_scheduled_ = flush_scheduled;
+  verify_flush_event_ = sim::kInvalidEventId;
+  verify_flush_at_ = flush_at;
+  return true;
 }
 
 void MessageManager::flush_verify_queue() {

@@ -91,6 +91,18 @@ class MessageManager {
   /// Call after AdHocManager::attach.
   void attach();
 
+  // --- checkpointing (soak harness) ----------------------------------------
+  /// Serialize store contents, certificate cache and the pending-flush
+  /// deadline. Only callable at a quiescent cut (no live sessions: the
+  /// session bookkeeping and verify queue must already be empty — a session
+  /// drop drains both). Config knobs (batch window/adaptive/max queue) stay
+  /// with the owner.
+  void save_state(util::Writer& w) const;
+  /// Mirror of save_state; call while detached, before attach() re-arms the
+  /// restored flush deadline. Returns false on malformed input leaving the
+  /// manager untouched.
+  bool load_state(util::Reader& r);
+
  private:
   void handle_frame(sim::PeerId peer, FrameType type, util::Bytes payload);
   void flush_verify_queue();

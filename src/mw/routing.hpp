@@ -18,6 +18,11 @@
 #include "mw/wire.hpp"
 #include "util/time.hpp"
 
+namespace sos::util {
+class Writer;
+class Reader;
+}  // namespace sos::util
+
 namespace sos::mw {
 
 /// Read-only view of the local node handed to every scheme call.
@@ -147,6 +152,20 @@ class RoutingScheme {
   }
   /// Copy budget for a bundle this node originates.
   virtual void on_published(const bundle::BundleId& id) { (void)id; }
+
+  // --- checkpoint seam -----------------------------------------------------
+
+  /// Serialize the scheme's mutable state (soak checkpoints). Stateless
+  /// schemes (epidemic, interest, direct, blackhole) have nothing to save;
+  /// stateful ones (prophet, spray) override both hooks. Configuration
+  /// (ProphetParams, initial copy counts) is NOT serialized — it is rebuilt
+  /// from the scenario config on resume.
+  virtual void save_state(util::Writer& w) const { (void)w; }
+  /// Restore state written by save_state. Returns false on malformed input.
+  virtual bool load_state(util::Reader& r) {
+    (void)r;
+    return true;
+  }
 };
 
 /// Factory for the built-in schemes: "epidemic", "interest", "spray",

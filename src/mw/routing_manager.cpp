@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/codec.hpp"
+
 namespace sos::mw {
 
 RoutingManager::RoutingManager(sim::Scheduler& sched, MessageManager& msgs, NodeStats& stats,
@@ -93,6 +95,47 @@ void RoutingManager::attach(sim::Scheduler& sched) {
   // would have fired on the previous shard.
   if (maintenance_interval_ > 0) schedule_maintenance();
   if (push_pending_) schedule_push();
+}
+
+void RoutingManager::save_state(util::Writer& w) const {
+  // Quiescent-cut contract: detached (no live timers) and no secure peers.
+  assert(sched_ == nullptr && peers_.empty());
+  w.varint(subscriptions_.size());
+  for (const auto& uid : subscriptions_) w.raw(uid.view());
+  w.u8(push_pending_ ? 1 : 0);
+  w.f64(push_at_);
+  w.f64(next_maintenance_at_);
+  {
+    util::Writer sub;
+    scheme_->save_state(sub);
+    w.bytes(sub.take());
+  }
+}
+
+bool RoutingManager::load_state(util::Reader& r) {
+  assert(sched_ == nullptr);
+  std::uint64_t n = r.varint();
+  std::set<pki::UserId> subs;
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    pki::UserId uid;
+    uid.bytes = r.raw_array<pki::kUserIdSize>();
+    subs.insert(uid);
+  }
+  bool push_pending = r.u8() != 0;
+  double push_at = r.f64();
+  double next_maintenance_at = r.f64();
+  util::Bytes scheme_blob = r.bytes();
+  if (!r.ok()) return false;
+  {
+    util::Reader sub{util::ByteView(scheme_blob)};
+    if (!scheme_->load_state(sub) || !sub.done()) return false;
+  }
+  subscriptions_ = std::move(subs);
+  push_pending_ = push_pending;
+  push_event_ = sim::kInvalidEventId;
+  push_at_ = push_at;
+  next_maintenance_at_ = next_maintenance_at;
+  return true;
 }
 
 void RoutingManager::refresh_advertisement() {

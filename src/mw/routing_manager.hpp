@@ -43,6 +43,17 @@ class RoutingManager {
   /// Re-arm them at the same deadlines on a new scheduler shard.
   void attach(sim::Scheduler& sched);
 
+  // --- checkpointing (soak harness) ----------------------------------------
+  /// Serialize subscriptions, timer deadlines and the scheme's mutable state
+  /// (as an opaque blob). Only callable at a quiescent cut while detached —
+  /// the per-session peer views must already be empty. The maintenance
+  /// interval and debounce knobs are configuration and stay with the owner.
+  void save_state(util::Writer& w) const;
+  /// Mirror of save_state; call while detached (the restored deadlines are
+  /// re-armed by the next attach()). Returns false on malformed input
+  /// leaving the manager untouched.
+  bool load_state(util::Reader& r);
+
   /// Recompute and install the plain-text advertisement.
   void refresh_advertisement();
 

@@ -10,7 +10,17 @@ void ProphetScheme::age(util::SimTime now) {
   if (now <= last_age_) return;
   double units = (now - last_age_) / params_.age_unit_s;
   double factor = std::pow(params_.gamma, units);
-  for (auto& [uid, p] : pred_) p *= factor;
+  // Decay-and-prune: entries falling below the floor leave the table
+  // entirely, so month-scale idle periods cannot accumulate denormal
+  // predictabilities (or their summary-blob bytes).
+  for (auto it = pred_.begin(); it != pred_.end();) {
+    it->second *= factor;
+    if (it->second < params_.p_floor) {
+      it = pred_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   last_age_ = now;
 }
 
@@ -32,12 +42,17 @@ void ProphetScheme::on_peer_blob(const pki::UserId& peer, util::ByteView blob) {
   }
   if (!r.ok()) return;
   // Transitive update: P(a,c) = max(P_old, P(a,b) * P(b,c) * beta).
+  // Candidates below the floor never enter the table — the old code's
+  // `pred_[dest]` default-constructed a permanent 0.0 entry for every
+  // destination any peer had ever heard of, an unbounded table at month
+  // horizons.
   double p_ab = pred_.count(peer) ? pred_[peer] : 0.0;
   for (const auto& [dest, p_bc] : table) {
     if (dest == peer) continue;
     double candidate = p_ab * p_bc * params_.beta;
-    double& mine = pred_[dest];
-    if (candidate > mine) mine = candidate;
+    if (candidate < params_.p_floor) continue;
+    auto [it, inserted] = pred_.try_emplace(dest, candidate);
+    if (!inserted && candidate > it->second) it->second = candidate;
   }
   peer_tables_[peer] = std::move(table);
 }
@@ -51,6 +66,54 @@ util::Bytes ProphetScheme::summary_blob(const RoutingContext& ctx) {
     w.f64(p);
   }
   return w.take();
+}
+
+void ProphetScheme::save_state(util::Writer& w) const {
+  w.f64(last_age_);
+  w.varint(pred_.size());
+  for (const auto& [uid, p] : pred_) {
+    w.raw(uid.view());
+    w.f64(p);
+  }
+  w.varint(peer_tables_.size());
+  for (const auto& [peer, table] : peer_tables_) {
+    w.raw(peer.view());
+    w.varint(table.size());
+    for (const auto& [uid, p] : table) {
+      w.raw(uid.view());
+      w.f64(p);
+    }
+  }
+}
+
+bool ProphetScheme::load_state(util::Reader& r) {
+  double last_age = r.f64();
+  std::uint64_t n = r.varint();
+  std::map<pki::UserId, double> pred;
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    pki::UserId uid;
+    uid.bytes = r.raw_array<pki::kUserIdSize>();
+    pred[uid] = r.f64();
+  }
+  std::uint64_t peers = r.varint();
+  std::map<pki::UserId, std::map<pki::UserId, double>> tables;
+  for (std::uint64_t i = 0; i < peers && r.ok(); ++i) {
+    pki::UserId peer;
+    peer.bytes = r.raw_array<pki::kUserIdSize>();
+    std::uint64_t k = r.varint();
+    std::map<pki::UserId, double> table;
+    for (std::uint64_t j = 0; j < k && r.ok(); ++j) {
+      pki::UserId uid;
+      uid.bytes = r.raw_array<pki::kUserIdSize>();
+      table[uid] = r.f64();
+    }
+    tables[peer] = std::move(table);
+  }
+  if (!r.ok()) return false;
+  last_age_ = last_age;
+  pred_ = std::move(pred);
+  peer_tables_ = std::move(tables);
+  return true;
 }
 
 double ProphetScheme::predictability(const pki::UserId& dest) const {

@@ -17,6 +17,14 @@ struct ProphetParams {
   double beta = 0.25;     // transitivity weight
   double gamma = 0.98;    // aging factor per time unit
   double age_unit_s = 1800.0;
+  /// Predictabilities decayed below this are dropped from the table (and
+  /// transitive candidates below it are never inserted). Without a floor a
+  /// month-long run ages entries into denormals — gamma^(30d/age_unit) ~=
+  /// 5e-13 — that still cost 18 bytes each in every summary blob forever,
+  /// and the transitive update used to create permanent 0.0 entries for
+  /// every destination any peer had ever heard of. An absent entry and a
+  /// floored entry behave identically in every forwarding comparison.
+  double p_floor = 1e-9;
 };
 
 class ProphetScheme : public RoutingScheme {
@@ -37,8 +45,13 @@ class ProphetScheme : public RoutingScheme {
   void on_peer_blob(const pki::UserId& peer, util::ByteView blob) override;
   void on_encounter(const RoutingContext& ctx, const pki::UserId& peer) override;
 
+  void save_state(util::Writer& w) const override;
+  bool load_state(util::Reader& r) override;
+
   /// Current delivery predictability toward `dest`.
   double predictability(const pki::UserId& dest) const;
+  /// Live table size (soak metrics: bounded by the pruning floor).
+  std::size_t table_size() const { return pred_.size(); }
 
  private:
   void age(util::SimTime now);

@@ -96,6 +96,50 @@ void SprayAndWaitScheme::on_published(const bundle::BundleId& id) {
   copies_[id] = initial_copies_;
 }
 
+void SprayAndWaitScheme::save_state(util::Writer& w) const {
+  w.varint(copies_.size());
+  for (const auto& [id, n] : copies_) {
+    w.raw(id.origin.view());
+    w.u32(id.msg_num);
+    w.u32(n);
+  }
+  w.varint(peer_subscriptions_.size());
+  for (const auto& [peer, subs] : peer_subscriptions_) {
+    w.raw(peer.view());
+    w.varint(subs.size());
+    for (const auto& uid : subs) w.raw(uid.view());
+  }
+}
+
+bool SprayAndWaitScheme::load_state(util::Reader& r) {
+  std::uint64_t n = r.varint();
+  std::map<bundle::BundleId, std::uint32_t> copies;
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    bundle::BundleId id;
+    id.origin.bytes = r.raw_array<pki::kUserIdSize>();
+    id.msg_num = r.u32();
+    copies[id] = r.u32();
+  }
+  std::uint64_t peers = r.varint();
+  std::map<pki::UserId, std::set<pki::UserId>> peer_subs;
+  for (std::uint64_t i = 0; i < peers && r.ok(); ++i) {
+    pki::UserId peer;
+    peer.bytes = r.raw_array<pki::kUserIdSize>();
+    std::uint64_t k = r.varint();
+    std::set<pki::UserId> subs;
+    for (std::uint64_t j = 0; j < k && r.ok(); ++j) {
+      pki::UserId uid;
+      uid.bytes = r.raw_array<pki::kUserIdSize>();
+      subs.insert(uid);
+    }
+    peer_subs[peer] = std::move(subs);
+  }
+  if (!r.ok()) return false;
+  copies_ = std::move(copies);
+  peer_subscriptions_ = std::move(peer_subs);
+  return true;
+}
+
 std::uint32_t SprayAndWaitScheme::copies_left(const bundle::BundleId& id) const {
   auto it = copies_.find(id);
   return it == copies_.end() ? 0 : it->second;

@@ -38,6 +38,9 @@ class SprayAndWaitScheme : public RoutingScheme {
   void on_received_copies(const bundle::BundleId& id, std::uint32_t copies) override;
   void on_published(const bundle::BundleId& id) override;
 
+  void save_state(util::Writer& w) const override;
+  bool load_state(util::Reader& r) override;
+
   std::uint32_t copies_left(const bundle::BundleId& id) const;
 
  private:

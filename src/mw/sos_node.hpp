@@ -72,6 +72,19 @@ class SosNode {
   void attach(sim::Scheduler& sched, sim::MpcEndpoint& endpoint);
   bool attached() const;
 
+  // --- checkpointing (soak harness) ----------------------------------------
+  /// Serialize exactly the durable state the detach()/attach() seam already
+  /// enumerates — bundle store, resumption cache, verify/advert caches,
+  /// routing tables, stats, pending absolute timer deadlines — plus the
+  /// publish counter. Only callable while detached at a quiescent cut (no
+  /// live sessions). Identity and SosConfig are not serialized: a restoring
+  /// node is constructed from the same scenario inputs first.
+  void save_state(util::Writer& w) const;
+  /// Mirror of save_state; call while detached, then attach() re-arms every
+  /// restored deadline. Returns false on malformed input; the node may have
+  /// partially restored manager state in that case and must be discarded.
+  bool load_state(util::Reader& r);
+
   /// Power cycle (fault-injection churn). Everything in RAM is lost:
   /// sessions, handshake state, verify queue/caches, certificate cache,
   /// session bookkeeping. `lose_store` additionally wipes the persisted

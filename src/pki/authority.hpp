@@ -91,6 +91,14 @@ class TrustStore {
   VerifyResult verify_identity(const Certificate& cert, const UserId& expected,
                                util::SimTime now) const;
 
+  /// CRL snapshot size — surfaced as a soak metric. Growth bound: entries
+  /// enter only through update_crl/add_revoked, both driven by the CA's
+  /// revoke() of an issued serial, so the set is bounded by the CA's
+  /// issued_count() (one certificate per node in every scenario here).
+  /// Adversaries forge signatures and corrupt frames; none of them can mint
+  /// CRL entries, so month-scale soaks must see this stay flat after setup.
+  std::size_t crl_size() const { return crl_.size(); }
+
  private:
   std::string issuer_name_;
   crypto::EdPublicKey root_key_{};

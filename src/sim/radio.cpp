@@ -10,13 +10,19 @@ EncounterDetector::EncounterDetector(Scheduler& sched, const MobilityModel& mobi
     : sched_(sched), mobility_(mobility), range_m_(range_m), tick_(tick) {}
 
 void EncounterDetector::start(util::SimTime until) {
+  start_at_ = sched_.now();
+  tick_index_ = 0;
   sched_.schedule_in(0, [this, until] { tick_once(until); });
 }
 
 void EncounterDetector::tick_once(util::SimTime until) {
   scan();
-  if (sched_.now() + tick_ <= until) {
-    sched_.schedule_in(tick_, [this, until] { tick_once(until); });
+  // Next deadline from the tick index, not by accumulating now + tick_:
+  // summed rounding error would eventually misalign scans with the
+  // timestamps a recorded trace carries (see start_at_).
+  util::SimTime next = start_at_ + static_cast<double>(++tick_index_) * tick_;
+  if (next <= until) {
+    sched_.schedule_at(next, [this, until] { tick_once(until); });
   }
 }
 

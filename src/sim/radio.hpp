@@ -51,6 +51,12 @@ class EncounterDetector {
   const MobilityModel& mobility_;
   double range_m_;
   util::SimTime tick_;
+  // Tick deadlines are computed as start_at_ + k * tick_ rather than by
+  // accumulating now + tick_: repeated addition drifts by an ulp every few
+  // thousand ticks for non-representable intervals, and a month-long run
+  // would scan at times that no longer match recorded trace timestamps.
+  util::SimTime start_at_ = 0.0;
+  std::uint64_t tick_index_ = 0;
   std::vector<ContactPair> contacts_;  // sorted; a < b within each pair
   std::uint64_t total_contacts_ = 0;
 

@@ -1,0 +1,86 @@
+#include "soak/jsonl.hpp"
+
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace sos::soak {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonObject::key(std::string_view k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(k);
+  body_ += "\":";
+}
+
+JsonObject& JsonObject::num(std::string_view k, double v) {
+  key(k);
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  body_ += os.str();
+  return *this;
+}
+
+JsonObject& JsonObject::count(std::string_view k, std::uint64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonObject& JsonObject::str(std::string_view k, std::string_view v) {
+  key(k);
+  body_ += '"';
+  body_ += json_escape(v);
+  body_ += '"';
+  return *this;
+}
+
+JsonObject& JsonObject::boolean(std::string_view k, bool v) {
+  key(k);
+  body_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonlWriter::JsonlWriter(const std::string& path)
+    : out_(path, std::ios::out | std::ios::app) {}
+
+void JsonlWriter::write(const JsonObject& obj) {
+  out_ << obj.render() << '\n';
+  out_.flush();
+}
+
+}  // namespace sos::soak

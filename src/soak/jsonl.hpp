@@ -1,0 +1,48 @@
+// Minimal JSONL (one JSON object per line) event log for the soak harness.
+// The metric snapshots a month-scale run emits are flat key/value records;
+// this writes them append-only so a run killed mid-soak loses at most the
+// line being written, and the scheduled CI job can upload the file as-is.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+namespace sos::soak {
+
+/// One flat JSON object, built field by field. Keys are emitted in call
+/// order; values are numbers, strings or booleans (all the soak log needs).
+class JsonObject {
+ public:
+  JsonObject& num(std::string_view key, double v);
+  JsonObject& count(std::string_view key, std::uint64_t v);
+  JsonObject& str(std::string_view key, std::string_view v);
+  JsonObject& boolean(std::string_view key, bool v);
+
+  /// The serialized object, e.g. {"a":1,"b":"x"}.
+  std::string render() const { return "{" + body_ + "}"; }
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+/// Append-only JSONL sink. Every write() emits one line and flushes.
+class JsonlWriter {
+ public:
+  /// Opens `path` for append; ok() reports failure (callers degrade to
+  /// running without a log rather than aborting a month of simulation).
+  explicit JsonlWriter(const std::string& path);
+
+  bool ok() const { return out_.good(); }
+  void write(const JsonObject& obj);
+
+ private:
+  std::ofstream out_;
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+}  // namespace sos::soak
